@@ -1,0 +1,283 @@
+// Package chop is a Go reproduction of CHOP, the constraint-driven
+// system-level partitioner of Kucukcakar and Parker (USC CEng 90-26 / DAC
+// 1991). It partitions behavioral specifications — acyclic data-flow graphs
+// of operations — onto multiple chips while satisfying hard constraints on
+// per-chip area, pin count, system performance (initiation interval) and
+// system delay.
+//
+// The package is a stable facade over the implementation packages:
+//
+//   - dfg: behavioral specifications (data-flow graphs) and benchmarks
+//   - lib: component libraries (the paper's Table 1)
+//   - chip: chip packages and chip sets (the paper's Table 2)
+//   - mem: memory blocks and their chip assignment
+//   - bad: the Behavioral Area-Delay predictor
+//   - core: the partitioner itself (integration, feasibility, heuristics)
+//   - kl: a Kernighan-Lin min-cut baseline
+//   - experiments: the paper's evaluation (Tables 3-6, Figures 7-8)
+//
+// A minimal session mirrors the paper's method: describe the behavior,
+// partition it, pick a chip set, and ask CHOP whether the partitioning is
+// feasible:
+//
+//	g := chop.ARLatticeFilter(16)
+//	p := &chop.Partitioning{
+//		Graph:    g,
+//		Parts:    chop.LevelPartitions(g, 2),
+//		PartChip: []int{0, 1},
+//		Chips:    chop.NewChipSet(2, chop.MOSISPackages()[1], 4),
+//	}
+//	cfg := chop.Config{
+//		Lib:    chop.Table1Library(),
+//		Clocks: chop.Clocks{MainNS: 300, DatapathMult: 10, TransferMult: 1},
+//		Constraints: chop.Constraints{
+//			Perf:  chop.Constraint{Bound: 30000, MinProb: 1},
+//			Delay: chop.Constraint{Bound: 30000, MinProb: 0.8},
+//		},
+//	}
+//	res, preds, err := chop.Run(p, cfg, chop.Iterative)
+package chop
+
+import (
+	"chop/internal/advisor"
+	"chop/internal/bad"
+	"chop/internal/chip"
+	"chop/internal/core"
+	"chop/internal/cosim"
+	"chop/internal/dfg"
+	"chop/internal/hlspec"
+	"chop/internal/kl"
+	"chop/internal/lib"
+	"chop/internal/mem"
+	"chop/internal/rtl"
+	"chop/internal/sim"
+	"chop/internal/stats"
+)
+
+// Behavioral specification types (package dfg).
+type (
+	// Graph is an acyclic data-flow graph: the behavioral specification.
+	Graph = dfg.Graph
+	// Node is one operation in a Graph.
+	Node = dfg.Node
+	// Edge is one data dependency in a Graph.
+	Edge = dfg.Edge
+	// Op identifies an operation type.
+	Op = dfg.Op
+)
+
+// Operation types.
+const (
+	OpInput  = dfg.OpInput
+	OpOutput = dfg.OpOutput
+	OpAdd    = dfg.OpAdd
+	OpSub    = dfg.OpSub
+	OpMul    = dfg.OpMul
+	OpDiv    = dfg.OpDiv
+	OpCmp    = dfg.OpCmp
+	OpMemRd  = dfg.OpMemRd
+	OpMemWr  = dfg.OpMemWr
+)
+
+// NewGraph returns an empty behavioral specification.
+func NewGraph(name string) *Graph { return dfg.New(name) }
+
+// Benchmark builders.
+var (
+	// ARLatticeFilter is the paper's AR lattice filter (Fig. 6 class).
+	ARLatticeFilter = dfg.ARLatticeFilter
+	// EllipticWaveFilter is the fifth-order elliptic wave filter benchmark.
+	EllipticWaveFilter = dfg.EllipticWaveFilter
+	// FIR is an n-tap FIR filter benchmark.
+	FIR = dfg.FIR
+	// DiffEq is the HAL differential-equation benchmark.
+	DiffEq = dfg.DiffEq
+	// LevelPartitions splits a graph into n level-ordered partitions of
+	// roughly equal operation count (always acyclic).
+	LevelPartitions = dfg.LevelPartitions
+)
+
+// Component library types (package lib).
+type (
+	// Library is a component library (modules + register and mux cells).
+	Library = lib.Library
+	// Module is one library component.
+	Module = lib.Module
+	// ModuleSet is one module choice per operation type.
+	ModuleSet = lib.ModuleSet
+)
+
+var (
+	// Table1Library is the paper's Table 1 component library.
+	Table1Library = lib.Table1Library
+	// ExtendedLibrary adds subtract/divide/compare entries to Table 1.
+	ExtendedLibrary = lib.ExtendedLibrary
+)
+
+// Chip types (package chip).
+type (
+	// ChipPackage is a physical chip package (the paper's Table 2 rows).
+	ChipPackage = chip.Package
+	// Chip is one chip instance in the target set.
+	Chip = chip.Chip
+	// ChipSet is the multi-chip target.
+	ChipSet = chip.Set
+)
+
+var (
+	// MOSISPackages is the paper's Table 2 package subset.
+	MOSISPackages = chip.MOSISPackages
+	// NewChipSet builds n identical chips from a package.
+	NewChipSet = chip.NewUniformSet
+)
+
+// Memory types (package mem).
+type (
+	// MemBlock is one memory module.
+	MemBlock = mem.Block
+	// MemSystem is the set of memory blocks plus chip assignment.
+	MemSystem = mem.System
+	// MemAssignment maps memory block names to chip indices.
+	MemAssignment = mem.Assignment
+)
+
+// Statistical prediction types (package stats).
+type (
+	// Triplet is a lower-bound / most-likely / upper-bound estimate.
+	Triplet = stats.Triplet
+	// Constraint is a probabilistic hard upper bound.
+	Constraint = stats.Constraint
+)
+
+// Predictor types (package bad).
+type (
+	// Clocks derives the datapath and transfer clocks from the main clock.
+	Clocks = bad.Clocks
+	// Style selects the architecture style (single/multi-cycle,
+	// pipelined/non-pipelined, testability).
+	Style = bad.Style
+	// Design is one predicted partition implementation.
+	Design = bad.Design
+	// PredictConfig parameterizes a standalone BAD prediction.
+	PredictConfig = bad.Config
+	// PredictResult is the outcome of a BAD prediction.
+	PredictResult = bad.Result
+	// DesignStyle distinguishes pipelined from non-pipelined designs.
+	DesignStyle = bad.DesignStyle
+)
+
+// Design styles.
+const (
+	NonPipelined = bad.NonPipelined
+	Pipelined    = bad.Pipelined
+)
+
+// Predict runs BAD standalone on one partition graph.
+func Predict(g *Graph, cfg PredictConfig) (PredictResult, error) { return bad.Predict(g, cfg) }
+
+// Partitioner types (package core).
+type (
+	// Partitioning is a tentative partitioning onto a chip set.
+	Partitioning = core.Partitioning
+	// Config parameterizes a CHOP run.
+	Config = core.Config
+	// Constraints are the system-level hard constraints.
+	Constraints = core.Constraints
+	// GlobalDesign is one integrated multi-chip implementation.
+	GlobalDesign = core.GlobalDesign
+	// SearchResult aggregates one heuristic run.
+	SearchResult = core.SearchResult
+	// SpacePoint is one explored design point (Figures 7/8 dots).
+	SpacePoint = core.SpacePoint
+	// Heuristic selects the search strategy.
+	Heuristic = core.Heuristic
+)
+
+// The paper's two search heuristics.
+const (
+	// Enumeration explicitly enumerates implementation combinations ("E").
+	Enumeration = core.Enumeration
+	// Iterative is the Figure-5 serialization algorithm ("I").
+	Iterative = core.Iterative
+)
+
+// Run predicts every partition with BAD and searches for feasible global
+// implementations with the chosen heuristic.
+func Run(p *Partitioning, cfg Config, h Heuristic) (SearchResult, []PredictResult, error) {
+	return core.Run(p, cfg, h)
+}
+
+// PredictPartitions runs BAD on every partition of p.
+func PredictPartitions(p *Partitioning, cfg Config) ([]PredictResult, error) {
+	return core.PredictPartitions(p, cfg)
+}
+
+// Search runs a heuristic over precomputed per-partition predictions.
+func Search(p *Partitioning, cfg Config, preds []PredictResult, h Heuristic) (SearchResult, error) {
+	return core.Search(p, cfg, preds, h)
+}
+
+// Baseline partitioner (package kl).
+var (
+	// KLBisect is Kernighan-Lin bisection minimizing cut bits.
+	KLBisect = kl.Bisect
+	// KLKWay recursively bisects into k parts.
+	KLKWay = kl.KWay
+	// KLCutBits measures a bisection's cut size.
+	KLCutBits = kl.CutBits
+	// KLValidateAcyclic reports whether a partitioning is admissible.
+	KLValidateAcyclic = kl.ValidateAcyclic
+)
+
+// Synthesis and verification (packages rtl and sim).
+type (
+	// Netlist is a bound register-transfer structure of one partition
+	// implementation.
+	Netlist = rtl.Netlist
+	// SimCoeffs supplies constants for coefficient operations during
+	// simulation.
+	SimCoeffs = sim.Coeffs
+)
+
+var (
+	// Bind synthesizes a predicted design into an RTL netlist.
+	Bind = rtl.Bind
+	// CosimVerify synthesizes one design per partition and checks the
+	// composed multi-chip system against the behavioral golden model.
+	CosimVerify = cosim.Verify
+	// CosimVerifyBest runs CHOP and verifies its fastest all-non-pipelined
+	// feasible design end to end.
+	CosimVerifyBest = cosim.VerifyBest
+	// CosimVerifyStream streams samples through a multi-chip system whose
+	// partitions may be pipelined.
+	CosimVerifyStream = cosim.VerifyStream
+	// OpCyclesFor derives the per-op cycle counts a design was predicted
+	// with, for use with Bind.
+	OpCyclesFor = rtl.OpCyclesFor
+	// Evaluate executes a behavior on concrete inputs (golden model).
+	Evaluate = sim.Evaluate
+	// RunNetlist interprets a bound netlist cycle by cycle.
+	RunNetlist = sim.RunNetlist
+	// VerifyNetlist checks a netlist against the golden model.
+	VerifyNetlist = sim.VerifyNetlist
+)
+
+// Advisor types (package advisor).
+type (
+	// AdvisorSession is an interactive partitioning session.
+	AdvisorSession = advisor.Session
+)
+
+var (
+	// NewAdvisor starts an interactive session.
+	NewAdvisor = advisor.New
+	// Improve hill-climbs over operation migrations.
+	Improve = advisor.Improve
+	// CompileHLS compiles the textual behavioral language (with loop
+	// unrolling) to a data-flow graph.
+	CompileHLS = hlspec.Compile
+	// DCT8 is an 8-point DCT butterfly benchmark.
+	DCT8 = dfg.DCT8
+	// MatMul is an n x n matrix-vector multiply benchmark.
+	MatMul = dfg.MatMul
+)

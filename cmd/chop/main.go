@@ -1,0 +1,402 @@
+// Command chop is the constraint-driven system-level partitioner CLI. It
+// regenerates the paper's evaluation and evaluates user partitioning specs.
+//
+// Usage:
+//
+//	chop tables            print the paper's Table 1 (library) and Table 2 (packages)
+//	chop exp1              run experiment 1 and print Tables 3 and 4
+//	chop exp2              run experiment 2 and print Tables 5 and 6
+//	chop graph [-g name]   print a benchmark data-flow graph (Fig. 6 class)
+//	chop spec              print an example partitioning spec (JSON)
+//	chop eval -f spec.json evaluate a partitioning spec
+//	chop advise -f spec.json  interactive advisor session (commands on stdin)
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"chop/internal/advisor"
+	"chop/internal/bad"
+	"chop/internal/core"
+	"chop/internal/cosim"
+	"chop/internal/dfg"
+	"chop/internal/experiments"
+	"chop/internal/hlspec"
+	"chop/internal/rtl"
+	"chop/internal/sim"
+	"chop/internal/spec"
+	"chop/internal/viz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "tables":
+		err = tables()
+	case "exp1":
+		err = experiment(1)
+	case "exp2":
+		err = experiment(2)
+	case "graph":
+		err = graph(os.Args[2:])
+	case "spec":
+		err = printSpec()
+	case "eval":
+		err = eval(os.Args[2:])
+	case "advise":
+		err = advise(os.Args[2:])
+	case "compile":
+		err = compile(os.Args[2:])
+	case "synth":
+		err = synth(os.Args[2:])
+	case "accuracy":
+		err = accuracy()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "chop: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chop:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: chop <command>
+
+  tables               print Table 1 (component library) and Table 2 (chip packages)
+  exp1                 run paper experiment 1 (Tables 3 and 4)
+  exp2                 run paper experiment 2 (Tables 5 and 6)
+  graph [-g name]      print a benchmark graph (ar, ewf, fir, diffeq)
+  spec                 print an example partitioning spec (JSON)
+  eval -f spec.json    evaluate a partitioning spec
+  advise -f spec.json  interactive advisor session (commands on stdin)
+  compile -f prog.hls  compile a behavioral program (loops unrolled) and print its DFG
+  synth -f spec.json   synthesize the fastest feasible design to RTL, verify it, emit Verilog
+  accuracy             compare BAD predictions against bound netlists
+`)
+}
+
+func tables() error {
+	fmt.Println("Table 1: component library (3 micron)")
+	fmt.Println(experiments.FormatTable1())
+	fmt.Println("Table 2: MOSIS standard chip packages")
+	fmt.Println(experiments.FormatTable2())
+	return nil
+}
+
+func experiment(n int) error {
+	e := experiments.New(n)
+	fmt.Printf("Experiment %d: %s\n\n", n, e.Name)
+
+	counts, err := e.PredictionCounts()
+	if err != nil {
+		return err
+	}
+	tn := 3
+	if n == 2 {
+		tn = 5
+	}
+	fmt.Printf("Table %d: statistics on the results from BAD\n", tn)
+	fmt.Println(experiments.FormatCounts(counts))
+
+	rows, err := e.Results()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table %d: partitioning results\n", tn+1)
+	fmt.Println(experiments.FormatResults(rows))
+	return nil
+}
+
+func graph(args []string) error {
+	fs := flag.NewFlagSet("graph", flag.ExitOnError)
+	name := fs.String("g", "ar", "benchmark graph: ar, ewf, fir, diffeq")
+	taps := fs.Int("taps", 8, "tap count for the fir benchmark")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g *dfg.Graph
+	switch *name {
+	case "ar":
+		g = dfg.ARLatticeFilter(16)
+	case "ewf":
+		g = dfg.EllipticWaveFilter(16)
+	case "fir":
+		g = dfg.FIR(*taps, 16)
+	case "diffeq":
+		g = dfg.DiffEq(16)
+	default:
+		return fmt.Errorf("unknown graph %q", *name)
+	}
+	fmt.Printf("graph %s: %d nodes, %d edges\n", g.Name, len(g.Nodes), len(g.Edges))
+	for op, cnt := range g.OpCounts() {
+		fmt.Printf("  %-6s x%d\n", op, cnt)
+	}
+	fmt.Println("nodes:")
+	for _, n := range g.Nodes {
+		fmt.Printf("  %-10s %-7s width=%d\n", n.Name, n.Op, n.Width)
+	}
+	fmt.Println("edges:")
+	for _, e := range g.Edges {
+		fmt.Printf("  %s -> %s (%d bits)\n", g.Nodes[e.From].Name, g.Nodes[e.To].Name, e.Width)
+	}
+	return nil
+}
+
+func printSpec() error {
+	data, err := json.MarshalIndent(spec.Example(), "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+func eval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	file := fs.String("f", "", "partitioning spec file (JSON)")
+	gantt := fs.Bool("gantt", false, "print the task-schedule timeline of the fastest design")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("eval: -f spec.json required")
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	prob, err := spec.Parse(data)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, preds, err := core.Run(prob.Partitioning, prob.Config, prob.Heuristic)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("partitions: %d on %d chips, heuristic %s, %s\n",
+		prob.Partitioning.NumParts(), len(prob.Partitioning.Chips.Chips),
+		prob.Heuristic, elapsed.Round(time.Millisecond))
+	for i, r := range preds {
+		fmt.Printf("  partition %d: %d predictions, %d kept, %d feasible\n",
+			i+1, r.Total, len(r.Designs), r.Feasible)
+	}
+	fmt.Printf("trials: %d, feasible: %d\n", res.Trials, res.FeasibleTrials)
+	if len(res.Best) == 0 {
+		fmt.Println("NO feasible implementation found for this partitioning")
+		return nil
+	}
+	fmt.Println("feasible non-inferior implementations:")
+	for _, b := range res.Best {
+		fmt.Printf("  interval=%d cycles  delay=%d cycles  clock=%.0f ns  (perf %.0f ns, delay %.0f ns)\n",
+			b.IIMain, b.DelayMain, b.Clock.ML, b.PerfNS.ML, b.DelayNS.ML)
+	}
+	// Designer guidance, as in paper section 3.1.
+	best := res.Best[0]
+	fmt.Println("\nguideline for the fastest implementation:")
+	for pi, d := range best.Choice {
+		fmt.Printf("  partition %d: %s style, %d stage(s), modules %s,",
+			pi+1, d.Style, d.Stages, d.ModuleSet.ID())
+		for op, nfu := range d.FUs {
+			fmt.Printf(" %d %s FU(s)", nfu, op)
+		}
+		fmt.Printf(", %d register bits, %d 1-bit muxes\n", d.RegBits, d.Mux1Bit)
+	}
+	for _, m := range best.Modules {
+		fmt.Printf("  transfer %-14s wait=%d xfer=%d cycles, buffer=%d bits, bus=%d pins\n",
+			m.Task.Name, m.Wait, m.Transfer, m.BufferBits, m.Pins)
+	}
+	if *gantt {
+		fmt.Println("\ntask schedule:")
+		fmt.Print(viz.Gantt(best, 64))
+	}
+	return nil
+}
+
+// advise starts an interactive advisor session over a spec file, reading
+// commands from stdin (scriptable: pipe a command file in).
+func advise(args []string) error {
+	fs := flag.NewFlagSet("advise", flag.ExitOnError)
+	file := fs.String("f", "", "partitioning spec file (JSON)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("advise: -f spec.json required")
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	prob, err := spec.Parse(data)
+	if err != nil {
+		return err
+	}
+	sess, err := advisor.New(prob.Partitioning, prob.Config, prob.Heuristic)
+	if err != nil {
+		return err
+	}
+	fmt.Println("chop advisor — type 'help' for commands, 'quit' to exit")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("chop> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return sc.Err()
+		}
+		line := sc.Text()
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		out, err := sess.Exec(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		if out != "" {
+			fmt.Println(out)
+		}
+	}
+}
+
+// compile compiles a behavioral program written in the hlspec language and
+// prints the resulting data-flow graph.
+func compile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	file := fs.String("f", "", "behavioral program file")
+	width := fs.Int("width", 16, "datapath bit width")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("compile: -f prog.hls required")
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	g, err := hlspec.Compile(*file, string(src), *width)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compiled %s: %d nodes, %d edges, ops %v\n",
+		g.Name, len(g.Nodes), len(g.Edges), g.OpCounts())
+	for _, n := range g.Nodes {
+		coef := ""
+		if n.HasCoef {
+			coef = fmt.Sprintf(" coef=%d", n.Coef)
+		}
+		fmt.Printf("  %-14s %-7s%s\n", n.Name, n.Op, coef)
+	}
+	return nil
+}
+
+// synth runs CHOP on a spec, synthesizes every partition of the fastest
+// all-non-pipelined feasible design to RTL, co-simulates the multi-chip
+// system against the behavioral golden model, and emits structural Verilog
+// for each partition on stdout.
+func synth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	file := fs.String("f", "", "partitioning spec file (JSON)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("synth: -f spec.json required")
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	prob, err := spec.Parse(data)
+	if err != nil {
+		return err
+	}
+	res, _, err := core.Run(prob.Partitioning, prob.Config, prob.Heuristic)
+	if err != nil {
+		return err
+	}
+	var chosen *core.GlobalDesign
+	for i := range res.Best {
+		ok := true
+		for _, d := range res.Best[i].Choice {
+			if d.Style != bad.NonPipelined {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			chosen = &res.Best[i]
+			break
+		}
+	}
+	if chosen == nil {
+		return fmt.Errorf("synth: no feasible all-non-pipelined global design")
+	}
+	fmt.Fprintf(os.Stderr, "synthesizing design: interval=%d delay=%d clock=%.0fns\n",
+		chosen.IIMain, chosen.DelayMain, chosen.Clock.ML)
+
+	// Functional sign-off on a handful of deterministic vectors.
+	g := prob.Partitioning.Graph
+	for seed := int64(1); seed <= 3; seed++ {
+		inputs := map[string]int64{}
+		for i, id := range g.Inputs() {
+			inputs[g.Nodes[id].Name] = (seed*31 + int64(i)*17) % 97
+		}
+		if err := cosim.Verify(prob.Partitioning, prob.Config, chosen.Choice, inputs, nil); err != nil {
+			return fmt.Errorf("synth: verification failed: %w", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "multi-chip co-simulation against the golden model: PASS")
+
+	subs := prob.Partitioning.Subgraphs()
+	for pi, d := range chosen.Choice {
+		cyc := rtl.OpCyclesFor(d, prob.Config.Style.MultiCycle, prob.Config.Clocks.DatapathNS())
+		nl, err := rtl.Bind(subs[pi], d, prob.Config.Lib, cyc)
+		if err != nil {
+			return fmt.Errorf("synth: partition %d: %w", pi+1, err)
+		}
+		fmt.Printf("// ---- partition %d of %d ----\n%s\n", pi+1, len(chosen.Choice), nl.Verilog(subs[pi]))
+		// Self-checking testbench with golden-model vectors baked in.
+		vectors := make([]map[string]int64, 2)
+		for vi := range vectors {
+			vectors[vi] = map[string]int64{}
+			for i, id := range subs[pi].Inputs() {
+				vectors[vi][subs[pi].Nodes[id].Name] = int64((vi+1)*7 + i*3)
+			}
+		}
+		tb, err := sim.Testbench(subs[pi], nl, vectors, nil)
+		if err != nil {
+			return fmt.Errorf("synth: partition %d testbench: %w", pi+1, err)
+		}
+		fmt.Println(tb)
+	}
+	return nil
+}
+
+// accuracy prints the prediction-vs-binding comparison table.
+func accuracy() error {
+	rows, err := experiments.Accuracy()
+	if err != nil {
+		return err
+	}
+	fmt.Println("BAD prediction accuracy against bound RTL netlists (AR filter, experiment 2)")
+	fmt.Println(experiments.FormatAccuracy(rows))
+	return nil
+}

@@ -1,0 +1,51 @@
+// Command chopspace regenerates the design-space scatter data of the
+// paper's Figures 7 and 8: every global design point encountered when the
+// pruning is disabled, as CSV on stdout, plus the pruned-vs-full run-time
+// comparison on stderr.
+//
+// Usage:
+//
+//	chopspace -exp 1        figure 7 (experiment 1, partitionings 1-3)
+//	chopspace -exp 2        figure 8 (experiment 2, 1-partition implementation)
+//	chopspace -exp 1 -svg   the same scatter as a standalone SVG document
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chop/internal/experiments"
+	"chop/internal/viz"
+)
+
+func main() {
+	expN := flag.Int("exp", 1, "experiment number (1 = Figure 7, 2 = Figure 8)")
+	svg := flag.Bool("svg", false, "emit the scatter as an SVG document instead of CSV")
+	flag.Parse()
+	if *expN != 1 && *expN != 2 {
+		fmt.Fprintln(os.Stderr, "chopspace: -exp must be 1 or 2")
+		os.Exit(2)
+	}
+	e := experiments.New(*expN)
+	counts := []int{1, 2, 3}
+	if *expN == 2 {
+		// The paper restricted Figure 8 to the 1-partition implementation
+		// ("we were unable to do so due to swap space problems").
+		counts = []int{1}
+	}
+	fig, err := e.Explore(counts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chopspace:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "experiment %d: %d predictions (%d unique), full search %d trials in %s, pruned %d trials in %s\n",
+		*expN, fig.Predictions, fig.UniquePredictions,
+		fig.FullTrials, fig.FullCPU, fig.PrunedTrials, fig.PrunedCPU)
+	if *svg {
+		title := fmt.Sprintf("Designs considered during experiment %d (%d points)", *expN, len(fig.Points))
+		fmt.Println(viz.ScatterSVG(title, fig.Points))
+		return
+	}
+	fmt.Print(experiments.FormatFigure(fig))
+}

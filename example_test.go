@@ -1,0 +1,85 @@
+package chop_test
+
+import (
+	"fmt"
+	"log"
+
+	chop "chop"
+)
+
+// ExampleRun reproduces the paper's core workflow: check a tentative
+// 2-partition AR-filter implementation against the experiment-1
+// constraints.
+func ExampleRun() {
+	g := chop.ARLatticeFilter(16)
+	p := &chop.Partitioning{
+		Graph:    g,
+		Parts:    chop.LevelPartitions(g, 2),
+		PartChip: []int{0, 1},
+		Chips:    chop.NewChipSet(2, chop.MOSISPackages()[1], 4),
+	}
+	cfg := chop.Config{
+		Lib:    chop.Table1Library(),
+		Clocks: chop.Clocks{MainNS: 300, DatapathMult: 10, TransferMult: 1},
+		Constraints: chop.Constraints{
+			Perf:  chop.Constraint{Bound: 30000, MinProb: 1},
+			Delay: chop.Constraint{Bound: 30000, MinProb: 0.8},
+		},
+	}
+	res, _, err := chop.Run(p, cfg, chop.Iterative)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := res.Best[0]
+	fmt.Printf("feasible at interval %d cycles, delay %d cycles\n", best.IIMain, best.DelayMain)
+	// Output:
+	// feasible at interval 40 cycles, delay 83 cycles
+}
+
+// ExampleCompileHLS compiles a behavioral program with a counted loop; the
+// loop is unrolled so the resulting data-flow graph is acyclic (paper
+// section 2.3).
+func ExampleCompileHLS() {
+	g, err := chop.CompileHLS("acc", `
+		input x
+		acc = x
+		loop 3 {
+			acc = acc + x
+		}
+		output acc
+	`, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d additions after unrolling\n", g.OpCounts()[chop.OpAdd])
+	out, err := chop.Evaluate(g, map[string]int64{"x": 5}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range out {
+		fmt.Printf("acc(5) = %d\n", v)
+	}
+	// Output:
+	// 3 additions after unrolling
+	// acc(5) = 20
+}
+
+// ExamplePredict runs the BAD predictor standalone on a behavior and prints
+// the frontier of predicted implementations.
+func ExamplePredict() {
+	g := chop.FIR(4, 16)
+	res, err := chop.Predict(g, chop.PredictConfig{
+		Lib:    chop.Table1Library(),
+		Style:  chop.Style{MultiCycle: true, NoPipelined: true},
+		Clocks: chop.Clocks{MainNS: 300, DatapathMult: 1, TransferMult: 1},
+		MaxII:  30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fastest := res.Designs[0]
+	fmt.Printf("fastest: %s, %d cycles, %d multipliers\n",
+		fastest.Style, fastest.II, fastest.FUs[chop.OpMul])
+	// Output:
+	// fastest: non-pipelined, 4 cycles, 4 multipliers
+}

@@ -1,0 +1,101 @@
+// arfilter replays the paper's designer session (section 3): starting from
+// a feasible single-chip implementation of the AR lattice filter, explore
+// faster designs using more chips, compare the two chip packages and both
+// search heuristics, and print the synthesis guideline CHOP outputs for the
+// chosen implementation (paper section 3.1).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	chop "chop"
+)
+
+func main() {
+	g := chop.ARLatticeFilter(16)
+	cfg := chop.Config{
+		Lib:    chop.Table1Library(),
+		Clocks: chop.Clocks{MainNS: 300, DatapathMult: 10, TransferMult: 1},
+		Constraints: chop.Constraints{
+			Perf:  chop.Constraint{Bound: 30000, MinProb: 1},
+			Delay: chop.Constraint{Bound: 30000, MinProb: 0.8},
+		},
+	}
+
+	fmt.Println("== searching for the fastest feasible design, experiment-1 style ==")
+	var chosen *chop.GlobalDesign
+	for _, setup := range []struct {
+		parts, pkgIdx int
+		label         string
+	}{
+		{1, 1, "1 partition, 84-pin"},
+		{2, 1, "2 partitions, 84-pin"},
+		{2, 0, "2 partitions, 64-pin"},
+		{3, 1, "3 partitions, 84-pin"},
+	} {
+		p := &chop.Partitioning{
+			Graph:    g,
+			Parts:    chop.LevelPartitions(g, setup.parts),
+			PartChip: seq(setup.parts),
+			Chips:    chop.NewChipSet(setup.parts, chop.MOSISPackages()[setup.pkgIdx], 4),
+		}
+		for _, h := range []chop.Heuristic{chop.Enumeration, chop.Iterative} {
+			start := time.Now()
+			res, _, err := chop.Run(p, cfg, h)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-24s H=%s %8s trials=%-4d feasible=%-3d",
+				setup.label, h, time.Since(start).Round(time.Microsecond), res.Trials, res.FeasibleTrials)
+			if len(res.Best) == 0 {
+				fmt.Println(" -> infeasible")
+				continue
+			}
+			for _, b := range res.Best {
+				fmt.Printf("  [II=%d delay=%d clk=%.0fns]", b.IIMain, b.DelayMain, b.Clock.ML)
+			}
+			fmt.Println()
+			if b := res.Best[0]; chosen == nil || b.IIMain < chosen.IIMain {
+				bb := b
+				chosen = &bb
+			}
+		}
+	}
+
+	if chosen == nil {
+		log.Fatal("no feasible design anywhere")
+	}
+	fmt.Printf("\n== guideline for the fastest design (II=%d, delay=%d) ==\n",
+		chosen.IIMain, chosen.DelayMain)
+	for pi, d := range chosen.Choice {
+		fmt.Printf("Partition %d:\n", pi+1)
+		fmt.Printf("  - a %s design style with %d stage(s)\n", d.Style, d.Stages)
+		fmt.Printf("  - module library of %s\n", d.ModuleSet.ID())
+		var ops []string
+		for op := range d.FUs {
+			ops = append(ops, string(op))
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			fmt.Printf("  - %d %s unit(s)\n", d.FUs[chop.Op(op)], op)
+		}
+		fmt.Printf("  - %d bits of registers for the data path\n", d.RegBits)
+		fmt.Printf("  - %d 1-bit 2-to-1 multiplexers\n", d.Mux1Bit)
+	}
+	fmt.Println("Data transfer modules:")
+	for _, m := range chosen.Modules {
+		fmt.Printf("  %-16s wait=%-3d transfer=%-3d buffer=%d bits, bus=%d pins\n",
+			m.Task.Name, m.Wait, m.Transfer, m.BufferBits, m.Pins)
+	}
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

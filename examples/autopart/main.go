@@ -1,0 +1,99 @@
+// autopart contrasts automatic partitioning strategies in front of CHOP's
+// feasibility analysis: the Kernighan-Lin min-cut baseline (paper reference
+// [4]) against level-ordered equal-size splitting. The paper's argument
+// (section 1.1) is that min-cut alone is the wrong objective at the
+// behavioral level — KL ignores data-flow direction (its cuts can create
+// mutual dependencies CHOP must reject) and cut size does not determine pin
+// or area feasibility; CHOP's prediction-driven check is the arbiter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	chop "chop"
+)
+
+func main() {
+	cfg := chop.Config{
+		Lib:    chop.Table1Library(),
+		Style:  chop.Style{MultiCycle: true},
+		Clocks: chop.Clocks{MainNS: 300, DatapathMult: 1, TransferMult: 1},
+		Constraints: chop.Constraints{
+			Perf:  chop.Constraint{Bound: 20000, MinProb: 1},
+			Delay: chop.Constraint{Bound: 30000, MinProb: 0.8},
+		},
+	}
+
+	for _, bench := range []struct {
+		name string
+		g    *chop.Graph
+	}{
+		{"ar-lattice-filter", chop.ARLatticeFilter(16)},
+		{"fir-16", chop.FIR(16, 16)},
+		{"elliptic-wave-filter", chop.EllipticWaveFilter(16)},
+	} {
+		fmt.Printf("== %s ==\n", bench.name)
+		g := bench.g
+
+		klParts := chop.KLKWay(g, 2, 10)
+		lvParts := chop.LevelPartitions(g, 2)
+
+		klCut := cutOf(g, klParts)
+		lvCut := cutOf(g, lvParts)
+		fmt.Printf("KL min-cut bisection:   cut=%4d bits, acyclic=%v\n",
+			klCut, chop.KLValidateAcyclic(g, klParts))
+		fmt.Printf("level equal-size split: cut=%4d bits, acyclic=%v\n",
+			lvCut, chop.KLValidateAcyclic(g, lvParts))
+
+		for _, cand := range []struct {
+			label string
+			parts [][]int
+		}{
+			{"KL", klParts},
+			{"level", lvParts},
+		} {
+			p := &chop.Partitioning{
+				Graph:    g,
+				Parts:    cand.parts,
+				PartChip: []int{0, 1},
+				Chips:    chop.NewChipSet(2, chop.MOSISPackages()[1], 4),
+			}
+			if err := p.Validate(); err != nil {
+				fmt.Printf("%-6s rejected by CHOP: %v\n", cand.label, err)
+				continue
+			}
+			res, _, err := chop.Run(p, cfg, chop.Iterative)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(res.Best) == 0 {
+				fmt.Printf("%-6s admissible but infeasible under the constraints\n", cand.label)
+				continue
+			}
+			b := res.Best[0]
+			fmt.Printf("%-6s feasible: II=%d cycles, delay=%d cycles\n",
+				cand.label, b.IIMain, b.DelayMain)
+		}
+		fmt.Println()
+	}
+}
+
+// cutOf measures the inter-partition traffic of a 2-way partitioning.
+func cutOf(g *chop.Graph, parts [][]int) int {
+	asn := map[int]int{}
+	for pi, set := range parts {
+		for _, id := range set {
+			asn[id] = pi % 2
+		}
+	}
+	cut := 0
+	for _, e := range g.Edges {
+		sf, okF := asn[e.From]
+		st, okT := asn[e.To]
+		if okF && okT && sf != st {
+			cut += e.Width
+		}
+	}
+	return cut
+}

@@ -1,0 +1,149 @@
+// figure2 reconstructs the paper's running example (Figures 2-4): a
+// five-partition, two-memory, four-chip tentative partitioning where
+//
+//   - chips may host several partitions (chip 4 holds P4 and P5),
+//   - memory blocks sit on chips alongside partitions (MA with P3, MB with
+//     P4/P5),
+//   - partition-level data flow is acyclic, yet the chip-level flow is
+//     cyclic (chip 1 -> chip 2 -> chip 1), which CHOP explicitly allows
+//     (paper section 2.3, "cyclic data flow is allowed among chips").
+//
+// It prints the data-transfer task graph CHOP creates (the paper's Figure
+// 3) and the feasibility verdict with the predicted transfer modules (the
+// architectural building blocks of Figure 4).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	chop "chop"
+)
+
+// buildBehavior constructs a behavior whose level structure decomposes into
+// five partitions with the Figure-2 dependency shape:
+//
+//	P1 -> P2 -> P4 -> P5,  P1 -> P3 -> P4,  P3 reads MA, P5 writes MB.
+func buildBehavior() (*chop.Graph, [][]int) {
+	g := chop.NewGraph("figure2")
+	in1 := g.AddNode("in1", chop.OpInput, 16)
+	in2 := g.AddNode("in2", chop.OpInput, 16)
+
+	stage := func(tag string, srcs []int, muls, adds int) []int {
+		var outs []int
+		for i := 0; i < muls; i++ {
+			m := g.AddNode(fmt.Sprintf("%s_m%d", tag, i), chop.OpMul, 16)
+			g.MustConnect(srcs[i%len(srcs)], m)
+			outs = append(outs, m)
+		}
+		for i := 0; i < adds; i++ {
+			a := g.AddNode(fmt.Sprintf("%s_a%d", tag, i), chop.OpAdd, 16)
+			g.MustConnect(outs[i%len(outs)], a)
+			g.MustConnect(srcs[(i+1)%len(srcs)], a)
+			outs = append(outs, a)
+		}
+		return outs
+	}
+	collect := func(from, to int) []int {
+		var ids []int
+		for id := from; id < to; id++ {
+			ids = append(ids, id)
+		}
+		return ids
+	}
+
+	m0 := len(g.Nodes)
+	p1 := stage("p1", []int{in1, in2}, 3, 2)
+	m1 := len(g.Nodes)
+	p2 := stage("p2", p1[len(p1)-2:], 2, 2)
+	m2 := len(g.Nodes)
+	// P3 reads coefficients from memory block MA.
+	rd := g.AddMemNode("p3_rd", chop.OpMemRd, 16, "MA")
+	p3srcs := append(p1[len(p1)-1:], rd)
+	p3 := stage("p3", p3srcs, 2, 1)
+	m3 := len(g.Nodes)
+	p4 := stage("p4", []int{p2[len(p2)-1], p3[len(p3)-1]}, 2, 2)
+	m4 := len(g.Nodes)
+	p5 := stage("p5", p4[len(p4)-1:], 1, 2)
+	wr := g.AddMemNode("p5_wr", chop.OpMemWr, 16, "MB")
+	g.MustConnect(p5[len(p5)-1], wr)
+	m5 := len(g.Nodes)
+	out := g.AddNode("out", chop.OpOutput, 16)
+	g.MustConnect(p5[len(p5)-1], out)
+
+	parts := [][]int{
+		collect(m0, m1), // P1
+		collect(m1, m2), // P2
+		collect(m2, m3), // P3 (includes the MA read)
+		collect(m3, m4), // P4
+		collect(m4, m5), // P5 (includes the MB write)
+	}
+	if err := g.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return g, parts
+}
+
+func main() {
+	g, parts := buildBehavior()
+
+	// Chip assignment mirroring Figure 2, with a chip-level cycle:
+	// P2 on chip 2 feeds P4 back on chip 1 while P1 (chip 1) feeds P2
+	// (chip 2): chip1 -> chip2 -> chip1.
+	p := &chop.Partitioning{
+		Graph:    g,
+		Parts:    parts,
+		PartChip: []int{0, 1, 2, 0, 3}, // P1,P4 on chip1; P2 chip2; P3 chip3; P5 chip4
+		Chips:    chop.NewChipSet(4, chop.MOSISPackages()[1], 4),
+		Mem: chop.MemSystem{
+			Blocks: []chop.MemBlock{
+				{Name: "MA", Words: 256, Width: 16, Ports: 1, AccessTime: 150,
+					Area: 9000, ControlPins: 2},
+				{Name: "MB", Words: 128, Width: 16, Ports: 1, AccessTime: 150,
+					Area: 6000, ControlPins: 2},
+			},
+			Assign: chop.MemAssignment{"MA": 2, "MB": 3},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("partitioning accepted: partition flow acyclic, chip-level flow cyclic (chip1->chip2->chip1)")
+
+	cfg := chop.Config{
+		Lib:    chop.Table1Library(),
+		Style:  chop.Style{MultiCycle: true},
+		Clocks: chop.Clocks{MainNS: 300, DatapathMult: 1, TransferMult: 1},
+		Constraints: chop.Constraints{
+			Perf:  chop.Constraint{Bound: 30000, MinProb: 1},
+			Delay: chop.Constraint{Bound: 60000, MinProb: 0.8},
+		},
+	}
+	res, preds, err := chop.Run(p, cfg, chop.Iterative)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range preds {
+		fmt.Printf("P%d: %d predictions, %d feasible\n", i+1, r.Total, r.Feasible)
+	}
+	if len(res.Best) == 0 {
+		fmt.Println("infeasible under these constraints")
+		return
+	}
+	b := res.Best[0]
+	fmt.Printf("\nfeasible: interval=%d cycles delay=%d cycles clock=%.0f ns\n",
+		b.IIMain, b.DelayMain, b.Clock.ML)
+
+	// The task graph (paper Figure 3): one data-transfer task per
+	// inter-chip flow, plus the partitions themselves.
+	fmt.Println("\ndata-transfer task graph (Figure 3):")
+	for _, m := range b.Modules {
+		fmt.Printf("  %-14s %4d bits  wait=%-3d transfer=%-2d buffer=%4d bits  bus=%2d pins\n",
+			m.Task.Name, m.Task.Bits, m.Wait, m.Transfer, m.BufferBits, m.Pins)
+	}
+	fmt.Println("\nper-chip usage:")
+	for ci := range p.Chips.Chips {
+		fmt.Printf("  chip %d: area %.0f mil^2, %d signal pins\n",
+			ci+1, b.ChipArea[ci].ML, b.ChipPins[ci])
+	}
+}

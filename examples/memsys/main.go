@@ -1,0 +1,102 @@
+// memsys demonstrates the memory-system inputs of CHOP (paper section 2.2
+// group 4 and section 2.7 "Memory blocks"): a small stream-processing
+// behavior that reads coefficients from a memory block, evaluated under
+// three memory assignments — on the compute chip, on the other chip, and as
+// an off-the-shelf memory chip outside the set. Moving the block changes
+// pin reservations, chip areas and therefore feasibility, which is exactly
+// the interleaved memory/behavior partitioning loop the paper describes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	chop "chop"
+)
+
+// buildStream returns a 2-tap adaptive filter slice: two coefficient reads,
+// two multiplies, an add chain, and a state write-back.
+func buildStream() *chop.Graph {
+	g := chop.NewGraph("stream")
+	in := g.AddNode("in", chop.OpInput, 16)
+	prev := g.AddNode("prev", chop.OpInput, 16)
+	c0 := g.AddNode("c0", chop.OpMemRd, 16)
+	g.Nodes[c0].Mem = "coeff"
+	c1 := g.AddNode("c1", chop.OpMemRd, 16)
+	g.Nodes[c1].Mem = "coeff"
+	m0 := g.AddNode("m0", chop.OpMul, 16)
+	m1 := g.AddNode("m1", chop.OpMul, 16)
+	g.MustConnect(in, m0)
+	g.MustConnect(c0, m0)
+	g.MustConnect(prev, m1)
+	g.MustConnect(c1, m1)
+	s := g.AddNode("sum", chop.OpAdd, 16)
+	g.MustConnect(m0, s)
+	g.MustConnect(m1, s)
+	wb := g.AddNode("wb", chop.OpMemWr, 16)
+	g.Nodes[wb].Mem = "coeff"
+	g.MustConnect(s, wb)
+	out := g.AddNode("out", chop.OpOutput, 16)
+	g.MustConnect(s, out)
+	if err := g.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+func main() {
+	g := buildStream()
+	coeff := chop.MemBlock{
+		Name: "coeff", Words: 256, Width: 16, Ports: 1,
+		AccessTime: 150, Area: 12000, ControlPins: 2,
+	}
+	offShelf := coeff
+	offShelf.OffChip = true
+	offShelf.Area = 0
+
+	cfg := chop.Config{
+		Lib:    chop.Table1Library(),
+		Style:  chop.Style{MultiCycle: true},
+		Clocks: chop.Clocks{MainNS: 300, DatapathMult: 1, TransferMult: 1},
+		Constraints: chop.Constraints{
+			Perf:  chop.Constraint{Bound: 20000, MinProb: 1},
+			Delay: chop.Constraint{Bound: 30000, MinProb: 0.8},
+		},
+	}
+
+	parts := chop.LevelPartitions(g, 2)
+	scenarios := []struct {
+		label string
+		mem   chop.MemSystem
+	}{
+		{"coeff block on chip 1 (with the multipliers)",
+			chop.MemSystem{Blocks: []chop.MemBlock{coeff}, Assign: chop.MemAssignment{"coeff": 0}}},
+		{"coeff block on chip 2 (away from the multipliers)",
+			chop.MemSystem{Blocks: []chop.MemBlock{coeff}, Assign: chop.MemAssignment{"coeff": 1}}},
+		{"off-the-shelf memory chip outside the set",
+			chop.MemSystem{Blocks: []chop.MemBlock{offShelf}}},
+	}
+	for _, sc := range scenarios {
+		p := &chop.Partitioning{
+			Graph:    g,
+			Parts:    parts,
+			PartChip: []int{0, 1},
+			Chips:    chop.NewChipSet(2, chop.MOSISPackages()[0], 4),
+			Mem:      sc.mem,
+		}
+		res, _, err := chop.Run(p, cfg, chop.Iterative)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-48s ", sc.label)
+		if len(res.Best) == 0 {
+			fmt.Println("infeasible")
+			continue
+		}
+		b := res.Best[0]
+		fmt.Printf("II=%-3d delay=%-3d pins=%v area=[%.0f %.0f]\n",
+			b.IIMain, b.DelayMain, b.ChipPins, b.ChipArea[0].ML, b.ChipArea[1].ML)
+	}
+	fmt.Println("\nMoving the memory changes pin reservations and chip areas — the")
+	fmt.Println("interleaved memory/behavior partitioning loop of paper section 2.7.")
+}

@@ -1,0 +1,57 @@
+// Quickstart: partition the AR lattice filter onto two 84-pin MOSIS chips
+// and ask CHOP whether the partitioning is feasible under the paper's
+// experiment-1 constraints.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	chop "chop"
+)
+
+func main() {
+	// The behavioral specification: the paper's AR lattice filter
+	// benchmark (16 multiplications, 12 additions).
+	g := chop.ARLatticeFilter(16)
+
+	// A tentative partitioning: a horizontal cut into two halves, each on
+	// its own chip.
+	p := &chop.Partitioning{
+		Graph:    g,
+		Parts:    chop.LevelPartitions(g, 2),
+		PartChip: []int{0, 1},
+		Chips:    chop.NewChipSet(2, chop.MOSISPackages()[1], 4),
+	}
+
+	// Experiment-1 configuration: Table-1 library, 300 ns main clock with
+	// a 10x datapath clock, single-cycle operations, 30 us performance and
+	// delay bounds. Feasibility criteria: certainty on performance and
+	// area, 80% confidence on system delay.
+	cfg := chop.Config{
+		Lib:    chop.Table1Library(),
+		Clocks: chop.Clocks{MainNS: 300, DatapathMult: 10, TransferMult: 1},
+		Constraints: chop.Constraints{
+			Perf:  chop.Constraint{Bound: 30000, MinProb: 1},
+			Delay: chop.Constraint{Bound: 30000, MinProb: 0.8},
+		},
+	}
+
+	res, preds, err := chop.Run(p, cfg, chop.Iterative)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range preds {
+		fmt.Printf("partition %d: %d predicted implementations, %d feasible\n",
+			i+1, r.Total, r.Feasible)
+	}
+	fmt.Printf("searched %d combinations, %d feasible\n", res.Trials, res.FeasibleTrials)
+	if len(res.Best) == 0 {
+		fmt.Println("no feasible implementation — relax constraints or repartition")
+		return
+	}
+	for _, b := range res.Best {
+		fmt.Printf("feasible: interval %d cycles (%.0f ns), delay %d cycles (%.0f ns), clock %.0f ns\n",
+			b.IIMain, b.PerfNS.ML, b.DelayMain, b.DelayNS.ML, b.Clock.ML)
+	}
+}

@@ -1,0 +1,3 @@
+module chop
+
+go 1.22

@@ -1,0 +1,690 @@
+// Package advisor implements CHOP's designer-in-the-loop role (paper
+// sections 2.1, 2.7 and 4): an interactive session over a tentative
+// partitioning supporting the paper's four modification groups —
+//
+//   - behavioral partitions: operation migration, partition splits/merges,
+//   - memory blocks: reassignment between chips,
+//   - target chip set: adding/replacing packages, moving partitions,
+//   - constraints: performance, delay and power bounds,
+//
+// with immediate feasibility feedback after every change ("the designer can
+// easily check the effects of system-level decisions in real-time"). An
+// automatic improvement loop (Improve) hill-climbs over operation
+// migrations, automating the manual modification step.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chop/internal/bad"
+	"chop/internal/chip"
+	"chop/internal/core"
+)
+
+// Session is one interactive partitioning session.
+type Session struct {
+	P   *core.Partitioning
+	Cfg core.Config
+	H   core.Heuristic
+	// Last holds the most recent Check result (nil before the first check).
+	Last *core.SearchResult
+}
+
+// New starts a session; the partitioning must validate.
+func New(p *core.Partitioning, cfg core.Config, h core.Heuristic) (*Session, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Session{P: p, Cfg: cfg, H: h}, nil
+}
+
+func (s *Session) nodeByName(name string) (int, error) {
+	for _, n := range s.P.Graph.Nodes {
+		if n.Name == name {
+			return n.ID, nil
+		}
+	}
+	return 0, fmt.Errorf("advisor: no node named %q", name)
+}
+
+// MoveOp migrates one operation to another partition (paper 2.7,
+// "operation migrations from partition to partition"). The move is rejected
+// if it would create a mutual dependency or empty a partition.
+func (s *Session) MoveOp(name string, toPart int) error {
+	id, err := s.nodeByName(name)
+	if err != nil {
+		return err
+	}
+	if toPart < 0 || toPart >= s.P.NumParts() {
+		return fmt.Errorf("advisor: partition %d out of range", toPart+1)
+	}
+	// Build the tentative partitioning and validate it wholesale.
+	next := clonePartitioning(s.P)
+	found := false
+	for pi, set := range next.Parts {
+		for i, nid := range set {
+			if nid == id {
+				if pi == toPart {
+					return fmt.Errorf("advisor: %q is already in partition %d", name, toPart+1)
+				}
+				next.Parts[pi] = append(set[:i:i], set[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("advisor: node %q is not in any partition", name)
+	}
+	next.Parts[toPart] = append(next.Parts[toPart], id)
+	if err := next.Validate(); err != nil {
+		return fmt.Errorf("advisor: move rejected: %w", err)
+	}
+	*s.P = *next
+	s.Last = nil
+	return nil
+}
+
+// MovePartition reassigns a partition to another chip (paper 2.7,
+// "migration of partitions from chip to chip").
+func (s *Session) MovePartition(part, chipIdx int) error {
+	if part < 0 || part >= s.P.NumParts() {
+		return fmt.Errorf("advisor: partition %d out of range", part+1)
+	}
+	if chipIdx < 0 || chipIdx >= len(s.P.Chips.Chips) {
+		return fmt.Errorf("advisor: chip %d out of range", chipIdx+1)
+	}
+	s.P.PartChip[part] = chipIdx
+	s.Last = nil
+	return nil
+}
+
+// MoveMemory reassigns a memory block to a chip (paper 2.7, "Memory
+// blocks"). chipIdx -1 detaches the block (off-the-shelf part outside the
+// chip set).
+func (s *Session) MoveMemory(block string, chipIdx int) error {
+	if _, ok := s.P.Mem.Block(block); !ok {
+		return fmt.Errorf("advisor: no memory block %q", block)
+	}
+	if chipIdx == -1 {
+		delete(s.P.Mem.Assign, block)
+		s.Last = nil
+		return nil
+	}
+	if chipIdx < 0 || chipIdx >= len(s.P.Chips.Chips) {
+		return fmt.Errorf("advisor: chip %d out of range", chipIdx+1)
+	}
+	if s.P.Mem.Assign == nil {
+		s.P.Mem.Assign = map[string]int{}
+	}
+	s.P.Mem.Assign[block] = chipIdx
+	s.Last = nil
+	return nil
+}
+
+// AddChip grows the target chip set (paper 2.7, "Target chip set").
+func (s *Session) AddChip(pkg chip.Package, reserved int) error {
+	c := chip.Chip{
+		Name:         fmt.Sprintf("chip%d", len(s.P.Chips.Chips)+1),
+		Pkg:          pkg,
+		ReservedPins: reserved,
+	}
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	s.P.Chips.Chips = append(s.P.Chips.Chips, c)
+	s.Last = nil
+	return nil
+}
+
+// SwapPackage replaces the package of one chip.
+func (s *Session) SwapPackage(chipIdx int, pkg chip.Package) error {
+	if chipIdx < 0 || chipIdx >= len(s.P.Chips.Chips) {
+		return fmt.Errorf("advisor: chip %d out of range", chipIdx+1)
+	}
+	next := s.P.Chips.Chips[chipIdx]
+	next.Pkg = pkg
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	s.P.Chips.Chips[chipIdx] = next
+	s.Last = nil
+	return nil
+}
+
+// SetPerf / SetDelay / SetPower adjust the constraints (paper 2.7,
+// "Constraints").
+func (s *Session) SetPerf(boundNS, minProb float64) {
+	s.Cfg.Constraints.Perf.Bound = boundNS
+	s.Cfg.Constraints.Perf.MinProb = minProb
+	s.Last = nil
+}
+
+// SetDelay adjusts the system-delay constraint.
+func (s *Session) SetDelay(boundNS, minProb float64) {
+	s.Cfg.Constraints.Delay.Bound = boundNS
+	s.Cfg.Constraints.Delay.MinProb = minProb
+	s.Last = nil
+}
+
+// SetPower adjusts the power constraint (extension).
+func (s *Session) SetPower(boundMW, minProb float64) {
+	s.Cfg.Constraints.Power.Bound = boundMW
+	s.Cfg.Constraints.Power.MinProb = minProb
+	s.Last = nil
+}
+
+// SplitPartition splits a partition into two level-ordered halves; the new
+// partition lands on the same chip (move it afterwards if desired). This is
+// the paper's "decrease the size of partitions (by increasing the number of
+// partitions) to make use of the unused space left on chips".
+func (s *Session) SplitPartition(part int) error {
+	if part < 0 || part >= s.P.NumParts() {
+		return fmt.Errorf("advisor: partition %d out of range", part+1)
+	}
+	set := s.P.Parts[part]
+	if len(set) < 2 {
+		return fmt.Errorf("advisor: partition %d is too small to split", part+1)
+	}
+	lv, err := s.P.Graph.Levels()
+	if err != nil {
+		return err
+	}
+	sorted := append([]int(nil), set...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if lv[sorted[i]] != lv[sorted[j]] {
+			return lv[sorted[i]] < lv[sorted[j]]
+		}
+		return sorted[i] < sorted[j]
+	})
+	mid := len(sorted) / 2
+	next := clonePartitioning(s.P)
+	next.Parts[part] = sorted[:mid]
+	next.Parts = append(next.Parts, sorted[mid:])
+	next.PartChip = append(next.PartChip, next.PartChip[part])
+	if err := next.Validate(); err != nil {
+		return fmt.Errorf("advisor: split rejected: %w", err)
+	}
+	*s.P = *next
+	s.Last = nil
+	return nil
+}
+
+// MergePartitions merges partition b into a (both indices 0-based).
+func (s *Session) MergePartitions(a, b int) error {
+	n := s.P.NumParts()
+	if a < 0 || a >= n || b < 0 || b >= n || a == b {
+		return fmt.Errorf("advisor: bad partition pair %d, %d", a+1, b+1)
+	}
+	next := clonePartitioning(s.P)
+	next.Parts[a] = append(next.Parts[a], next.Parts[b]...)
+	next.Parts = append(next.Parts[:b], next.Parts[b+1:]...)
+	next.PartChip = append(next.PartChip[:b], next.PartChip[b+1:]...)
+	if err := next.Validate(); err != nil {
+		return fmt.Errorf("advisor: merge rejected: %w", err)
+	}
+	*s.P = *next
+	s.Last = nil
+	return nil
+}
+
+// Check runs CHOP on the current state and caches the result.
+func (s *Session) Check() (core.SearchResult, []bad.Result, error) {
+	res, preds, err := core.Run(s.P, s.Cfg, s.H)
+	if err != nil {
+		return res, preds, err
+	}
+	s.Last = &res
+	return res, preds, nil
+}
+
+// Report summarizes the session state and the last check.
+func (s *Session) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s: %d partitions on %d chips\n",
+		s.P.Graph.Name, s.P.NumParts(), len(s.P.Chips.Chips))
+	for pi, set := range s.P.Parts {
+		fmt.Fprintf(&b, "  P%d on %s: %d ops\n",
+			pi+1, s.P.Chips.Chips[s.P.PartChip[pi]].Name, len(set))
+	}
+	cons := s.Cfg.Constraints
+	fmt.Fprintf(&b, "constraints: perf<=%.0fns delay<=%.0fns", cons.Perf.Bound, cons.Delay.Bound)
+	if cons.Power.Bound > 0 {
+		fmt.Fprintf(&b, " power<=%.0fmW", cons.Power.Bound)
+	}
+	b.WriteByte('\n')
+	if s.Last == nil {
+		b.WriteString("not checked yet (run check)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "last check (%s): %d trials, %d feasible\n",
+		s.H, s.Last.Trials, s.Last.FeasibleTrials)
+	if len(s.Last.Best) == 0 {
+		b.WriteString("  INFEASIBLE\n")
+	}
+	for _, g := range s.Last.Best {
+		fmt.Fprintf(&b, "  interval=%d delay=%d clock=%.0fns\n", g.IIMain, g.DelayMain, g.Clock.ML)
+	}
+	return b.String()
+}
+
+func clonePartitioning(p *core.Partitioning) *core.Partitioning {
+	next := &core.Partitioning{
+		Graph:    p.Graph,
+		Parts:    make([][]int, len(p.Parts)),
+		PartChip: append([]int(nil), p.PartChip...),
+		Chips:    chip.Set{Chips: append([]chip.Chip(nil), p.Chips.Chips...)},
+		Mem:      p.Mem,
+	}
+	for i, set := range p.Parts {
+		next.Parts[i] = append([]int(nil), set...)
+	}
+	if p.Mem.Assign != nil {
+		next.Mem.Assign = make(map[string]int, len(p.Mem.Assign))
+		for k, v := range p.Mem.Assign {
+			next.Mem.Assign[k] = v
+		}
+	}
+	return next
+}
+
+// score orders search outcomes: feasible beats infeasible; among feasible,
+// lower best II wins, then lower delay.
+func score(res core.SearchResult) (feasible bool, ii, delay int) {
+	if len(res.Best) == 0 {
+		return false, 1 << 30, 1 << 30
+	}
+	return true, res.Best[0].IIMain, res.Best[0].DelayMain
+}
+
+func better(a, b core.SearchResult) bool {
+	af, aii, ad := score(a)
+	bf, bii, bd := score(b)
+	if af != bf {
+		return af
+	}
+	if aii != bii {
+		return aii < bii
+	}
+	return ad < bd
+}
+
+// Improve hill-climbs over single-operation migrations between partitions,
+// automating the paper-2.7 manual modification loop: in each round it
+// evaluates every legal move of a boundary operation to an adjacent
+// partition and keeps the best strictly-improving one, stopping after
+// maxRounds or at a local optimum. It returns the improved partitioning and
+// its final search result.
+func Improve(p *core.Partitioning, cfg core.Config, h core.Heuristic, maxRounds int) (*core.Partitioning, core.SearchResult, error) {
+	cur := clonePartitioning(p)
+	if err := cur.Validate(); err != nil {
+		return nil, core.SearchResult{}, err
+	}
+	best, _, err := core.Run(cur, cfg, h)
+	if err != nil {
+		return nil, core.SearchResult{}, err
+	}
+	if maxRounds <= 0 {
+		maxRounds = 8
+	}
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for _, mv := range boundaryMoves(cur) {
+			cand := clonePartitioning(cur)
+			applyMove(cand, mv)
+			if cand.Validate() != nil {
+				continue
+			}
+			res, _, err := core.Run(cand, cfg, h)
+			if err != nil {
+				continue
+			}
+			if better(res, best) {
+				cur, best = cand, res
+				improved = true
+				break // greedy: take the first improving move, rescan
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, best, nil
+}
+
+type move struct{ node, from, to int }
+
+// boundaryMoves lists candidate migrations: operations with an edge
+// crossing into another partition may move to that partition.
+func boundaryMoves(p *core.Partitioning) []move {
+	assign := p.Assignment()
+	seen := map[move]bool{}
+	var out []move
+	add := func(m move) {
+		if !seen[m] && len(p.Parts[m.from]) > 1 {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	for _, e := range p.Graph.Edges {
+		pf, okF := assign[e.From]
+		pt, okT := assign[e.To]
+		if !okF || !okT || pf == pt {
+			continue
+		}
+		add(move{e.From, pf, pt})
+		add(move{e.To, pt, pf})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].node != out[j].node {
+			return out[i].node < out[j].node
+		}
+		return out[i].to < out[j].to
+	})
+	return out
+}
+
+func applyMove(p *core.Partitioning, m move) {
+	set := p.Parts[m.from]
+	for i, id := range set {
+		if id == m.node {
+			p.Parts[m.from] = append(set[:i:i], set[i+1:]...)
+			break
+		}
+	}
+	p.Parts[m.to] = append(p.Parts[m.to], m.node)
+}
+
+// Exec interprets one advisor command line and returns its output. It is
+// the scriptable core of `chop advise`. Commands:
+//
+//	move <op> <partition>      migrate an operation
+//	part <partition> <chip>    move a partition to a chip
+//	mem <block> <chip|->       reassign a memory block (- detaches it)
+//	chip add <64|84>           add a MOSIS package chip
+//	chip pkg <chip> <64|84>    swap a chip's package
+//	split <partition>          split a partition in two
+//	merge <a> <b>              merge partition b into a
+//	perf <ns> [prob]           set the performance constraint
+//	delay <ns> [prob]          set the delay constraint
+//	power <mW> [prob]          set the power constraint
+//	check                      run CHOP
+//	improve [rounds]           automatic op-migration improvement
+//	improve-mem                automatic memory-block placement
+//	report                     show session state
+//	help                       this text
+func (s *Session) Exec(line string) (string, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", nil
+	}
+	argInt := func(i int) (int, error) {
+		if i >= len(fields) {
+			return 0, fmt.Errorf("advisor: %s needs more arguments", fields[0])
+		}
+		var v int
+		if _, err := fmt.Sscanf(fields[i], "%d", &v); err != nil {
+			return 0, fmt.Errorf("advisor: bad number %q", fields[i])
+		}
+		return v, nil
+	}
+	argFloat := func(i int, def float64) (float64, error) {
+		if i >= len(fields) {
+			return def, nil
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
+			return 0, fmt.Errorf("advisor: bad number %q", fields[i])
+		}
+		return v, nil
+	}
+	pkgByPins := func(s string) (chip.Package, error) {
+		for _, p := range chip.MOSISPackages() {
+			if fmt.Sprint(p.Pins) == s {
+				return p, nil
+			}
+		}
+		return chip.Package{}, fmt.Errorf("advisor: no MOSIS package with %s pins", s)
+	}
+	switch fields[0] {
+	case "move":
+		if len(fields) < 3 {
+			return "", fmt.Errorf("advisor: move <op> <partition>")
+		}
+		to, err := argInt(2)
+		if err != nil {
+			return "", err
+		}
+		if err := s.MoveOp(fields[1], to-1); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("moved %s to partition %d", fields[1], to), nil
+	case "part":
+		pi, err := argInt(1)
+		if err != nil {
+			return "", err
+		}
+		ci, err := argInt(2)
+		if err != nil {
+			return "", err
+		}
+		if err := s.MovePartition(pi-1, ci-1); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("partition %d now on chip %d", pi, ci), nil
+	case "mem":
+		if len(fields) < 3 {
+			return "", fmt.Errorf("advisor: mem <block> <chip|->")
+		}
+		ci := -1
+		if fields[2] != "-" {
+			v, err := argInt(2)
+			if err != nil {
+				return "", err
+			}
+			ci = v - 1
+		}
+		if err := s.MoveMemory(fields[1], ci); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("memory %s reassigned", fields[1]), nil
+	case "chip":
+		if len(fields) < 2 {
+			return "", fmt.Errorf("advisor: chip add <pins> | chip pkg <chip> <pins>")
+		}
+		switch fields[1] {
+		case "add":
+			if len(fields) < 3 {
+				return "", fmt.Errorf("advisor: chip add <pins>")
+			}
+			pkg, err := pkgByPins(fields[2])
+			if err != nil {
+				return "", err
+			}
+			if err := s.AddChip(pkg, 4); err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("added %s as chip %d", pkg.Name, len(s.P.Chips.Chips)), nil
+		case "pkg":
+			ci, err := argInt(2)
+			if err != nil {
+				return "", err
+			}
+			if len(fields) < 4 {
+				return "", fmt.Errorf("advisor: chip pkg <chip> <pins>")
+			}
+			pkg, err := pkgByPins(fields[3])
+			if err != nil {
+				return "", err
+			}
+			if err := s.SwapPackage(ci-1, pkg); err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("chip %d now %s", ci, pkg.Name), nil
+		default:
+			return "", fmt.Errorf("advisor: unknown chip subcommand %q", fields[1])
+		}
+	case "split":
+		pi, err := argInt(1)
+		if err != nil {
+			return "", err
+		}
+		if err := s.SplitPartition(pi - 1); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("partition %d split; now %d partitions", pi, s.P.NumParts()), nil
+	case "merge":
+		a, err := argInt(1)
+		if err != nil {
+			return "", err
+		}
+		b, err := argInt(2)
+		if err != nil {
+			return "", err
+		}
+		if err := s.MergePartitions(a-1, b-1); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("merged partition %d into %d", b, a), nil
+	case "perf", "delay", "power":
+		bound, err := argFloat(1, -1)
+		if err != nil || bound < 0 {
+			return "", fmt.Errorf("advisor: %s <bound> [prob]", fields[0])
+		}
+		def := 1.0
+		if fields[0] == "delay" {
+			def = 0.8
+		}
+		prob, err := argFloat(2, def)
+		if err != nil {
+			return "", err
+		}
+		switch fields[0] {
+		case "perf":
+			s.SetPerf(bound, prob)
+		case "delay":
+			s.SetDelay(bound, prob)
+		case "power":
+			s.SetPower(bound, prob)
+		}
+		return fmt.Sprintf("%s constraint set to %.0f (prob %.2f)", fields[0], bound, prob), nil
+	case "check":
+		res, _, err := s.Check()
+		if err != nil {
+			return "", err
+		}
+		if len(res.Best) == 0 {
+			return fmt.Sprintf("infeasible (%d trials)", res.Trials), nil
+		}
+		b := res.Best[0]
+		return fmt.Sprintf("feasible: interval=%d delay=%d clock=%.0fns (%d trials)",
+			b.IIMain, b.DelayMain, b.Clock.ML, res.Trials), nil
+	case "improve-mem":
+		next, res, err := ImproveMemory(s.P, s.Cfg, s.H)
+		if err != nil {
+			return "", err
+		}
+		*s.P = *next
+		s.Last = &res
+		if len(res.Best) == 0 {
+			return "no feasible design found by memory improvement", nil
+		}
+		return fmt.Sprintf("memory placement improved: interval=%d delay=%d",
+			res.Best[0].IIMain, res.Best[0].DelayMain), nil
+	case "improve":
+		rounds := 8
+		if len(fields) > 1 {
+			v, err := argInt(1)
+			if err != nil {
+				return "", err
+			}
+			rounds = v
+		}
+		next, res, err := Improve(s.P, s.Cfg, s.H, rounds)
+		if err != nil {
+			return "", err
+		}
+		*s.P = *next
+		s.Last = &res
+		if len(res.Best) == 0 {
+			return "no feasible design found by improvement", nil
+		}
+		return fmt.Sprintf("improved: interval=%d delay=%d",
+			res.Best[0].IIMain, res.Best[0].DelayMain), nil
+	case "report":
+		return s.Report(), nil
+	case "help":
+		return helpText, nil
+	default:
+		return "", fmt.Errorf("advisor: unknown command %q (try help)", fields[0])
+	}
+}
+
+const helpText = `commands:
+  move <op> <partition>      migrate an operation
+  part <partition> <chip>    move a partition to a chip
+  mem <block> <chip|->       reassign a memory block (- detaches it)
+  chip add <64|84>           add a MOSIS package chip
+  chip pkg <chip> <64|84>    swap a chip's package
+  split <partition>          split a partition in two
+  merge <a> <b>              merge partition b into a
+  perf <ns> [prob]           set the performance constraint
+  delay <ns> [prob]          set the delay constraint
+  power <mW> [prob]          set the power constraint
+  check                      run CHOP on the current state
+  improve [rounds]           automatic op-migration improvement
+  improve-mem                automatic memory-block placement
+  report                     show session state`
+
+// ImproveMemory automates the paper's interleaved memory/behavior
+// partitioning step ("a step we intend to automate in the future", section
+// 2.2): for every memory block, it tries each chip assignment (and
+// detachment, for off-the-shelf parts) and keeps the placement whose CHOP
+// result is best. Behavior partitions stay fixed; combine with Improve for
+// the full interleaving.
+func ImproveMemory(p *core.Partitioning, cfg core.Config, h core.Heuristic) (*core.Partitioning, core.SearchResult, error) {
+	cur := clonePartitioning(p)
+	if err := cur.Validate(); err != nil {
+		return nil, core.SearchResult{}, err
+	}
+	best, _, err := core.Run(cur, cfg, h)
+	if err != nil {
+		return nil, core.SearchResult{}, err
+	}
+	for _, blk := range cur.Mem.Blocks {
+		candidates := make([]int, 0, len(cur.Chips.Chips)+1)
+		for ci := range cur.Chips.Chips {
+			candidates = append(candidates, ci)
+		}
+		if blk.OffChip {
+			candidates = append(candidates, -1) // outside the chip set
+		}
+		for _, ci := range candidates {
+			cand := clonePartitioning(cur)
+			if cand.Mem.Assign == nil {
+				cand.Mem.Assign = map[string]int{}
+			}
+			if ci == -1 {
+				delete(cand.Mem.Assign, blk.Name)
+			} else {
+				cand.Mem.Assign[blk.Name] = ci
+			}
+			if cand.Validate() != nil {
+				continue
+			}
+			res, _, err := core.Run(cand, cfg, h)
+			if err != nil {
+				continue
+			}
+			if better(res, best) {
+				cur, best = cand, res
+			}
+		}
+	}
+	return cur, best, nil
+}

@@ -1,0 +1,191 @@
+// Package alloc implements the register and multiplexer allocation
+// predictions of BAD (paper section 2.4: "detailed predictions on register
+// and multiplexer allocation"). Given a schedule and a functional-unit
+// allocation, it estimates:
+//
+//   - register bits: the maximum number of value bits simultaneously live
+//     (the left-edge algorithm achieves this bound exactly);
+//   - 1-bit 2:1 multiplexers: steering logic in front of shared FU input
+//     ports and shared registers;
+//   - interconnect count: the number of point-to-point nets, which feeds
+//     the wiring-area model.
+//
+// For pipelined designs, lifetimes are folded modulo the initiation
+// interval: a value that lives longer than one interval coexists with its
+// successors from younger samples, so it occupies multiple register slots.
+package alloc
+
+import (
+	"chop/internal/dfg"
+	"chop/internal/sched"
+)
+
+// Alloc is the predicted storage/steering requirement of one design point.
+type Alloc struct {
+	// RegisterBits is the peak number of simultaneously live value bits.
+	RegisterBits int
+	// Mux1Bit is the number of 1-bit 2:1 multiplexer cells.
+	Mux1Bit int
+	// Nets is the interconnect count for the wiring model.
+	Nets int
+}
+
+// Estimate computes the allocation for a scheduled partition. fus is the
+// functional-unit allocation used to produce the schedule; ii is the
+// initiation interval in cycles (pass the schedule latency, or any value
+// >= latency, for non-pipelined designs).
+func Estimate(p sched.Problem, res sched.Result, fus map[dfg.Op]int, ii int) Alloc {
+	g := p.G
+	if ii < 1 {
+		ii = 1
+	}
+
+	// ---- register bits: peak live bits over the folded schedule ----
+	occupancy := make([]int, ii)
+	addLife := func(from, to, width int) {
+		if to < from {
+			to = from
+		}
+		if to-from+1 >= ii {
+			// Alive a full interval (or more): permanently resident.
+			for s := 0; s < ii; s++ {
+				occupancy[s] += width * ((to - from) / ii)
+			}
+			// remainder handled below by the partial span
+		}
+		span := (to - from) % ii
+		for k := 0; k <= span; k++ {
+			occupancy[(from+k)%ii] += width
+		}
+	}
+	dur := func(id int) int {
+		n := g.Nodes[id]
+		if !n.Op.NeedsFU() {
+			return 0
+		}
+		c := p.Cycles(n)
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+	for id, n := range g.Nodes {
+		if n.Op == dfg.OpOutput {
+			continue
+		}
+		// Birth: when the value becomes available. Inputs are available at
+		// cycle 0 (the paper assumes all partition inputs arrive before
+		// execution starts); computed values at start+duration.
+		birth := 0
+		if n.Op.NeedsFU() {
+			birth = res.Start[id] + dur(id)
+		}
+		// Death: the start cycle of the last consumer (the consumer latches
+		// the operand when it fires). Values with no consumer (partition
+		// outputs feeding OpOutput markers, handled by transfer buffers)
+		// are held for one cycle.
+		death := birth
+		for _, su := range g.Succs(id) {
+			s := res.Start[su]
+			if g.Nodes[su].Op == dfg.OpOutput {
+				s = birth // transfer buffering is accounted elsewhere
+			}
+			if s > death {
+				death = s
+			}
+		}
+		addLife(birth, death, n.Width)
+	}
+	regBits := 0
+	for _, o := range occupancy {
+		if o > regBits {
+			regBits = o
+		}
+	}
+
+	// ---- multiplexers and nets ----
+	// FU input-port steering: the distinct producer values arriving at each
+	// operand position of an op type spread across its allocated instances;
+	// each instance's port selects among ~distinct/n sources, so the type
+	// needs (distinct - n) two-way muxes per bit at that position. This
+	// distinct-source model tracks actual left-edge/first-fit bindings far
+	// better than a naive sharers-per-FU count (package rtl's accuracy test
+	// compares the two directly).
+	counts := g.OpCounts()
+	mux := 0
+	nets := 0
+	width := datapathWidth(g)
+	totalFUs := 0
+	for op, cnt := range counts {
+		n := fus[op]
+		if n <= 0 {
+			n = cnt // unconstrained: one FU per op, no sharing
+		}
+		if n > cnt {
+			n = cnt
+		}
+		totalFUs += n
+		ports := inputPorts(op)
+		for pos := 0; pos < ports; pos++ {
+			distinct := make(map[int]bool)
+			for _, nd := range g.Nodes {
+				if nd.Op != op {
+					continue
+				}
+				preds := g.Preds(nd.ID)
+				if pos < len(preds) {
+					distinct[preds[pos]] = true
+				}
+			}
+			if d := len(distinct); d > n {
+				mux += (d - n) * width
+			}
+		}
+		nets += n * (ports + 1) // each FU: input nets + one output net
+	}
+	// Register-file steering: shared registers need an input mux per extra
+	// writer. The extra-writer total is bounded both by the value surplus
+	// (values - regs) and by the writer diversity a register can see (every
+	// FU plus the external input path).
+	values := 0
+	for _, n := range g.Nodes {
+		if n.Op.NeedsFU() || n.Op == dfg.OpInput {
+			values++
+		}
+	}
+	regs := 0
+	if width > 0 {
+		regs = (regBits + width - 1) / width
+	}
+	if regs > 0 && values > regs {
+		extra := values - regs
+		if cap := regs * totalFUs; extra > cap {
+			extra = cap
+		}
+		mux += extra * width
+	}
+	nets += len(g.Edges) + regs
+	return Alloc{RegisterBits: regBits, Mux1Bit: mux, Nets: nets}
+}
+
+// inputPorts returns the operand count of an operation type.
+func inputPorts(op dfg.Op) int {
+	switch op {
+	case dfg.OpAdd, dfg.OpSub, dfg.OpMul, dfg.OpDiv, dfg.OpCmp:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// datapathWidth returns the dominant value width of the graph (the maximum,
+// which for the paper's designs is the uniform 16-bit width).
+func datapathWidth(g *dfg.Graph) int {
+	w := 0
+	for _, n := range g.Nodes {
+		if n.Width > w {
+			w = n.Width
+		}
+	}
+	return w
+}

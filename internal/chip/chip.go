@@ -1,0 +1,151 @@
+// Package chip models the target chip set input of CHOP (paper section 2.2,
+// third input group): actual chip packages with project-area dimensions, pin
+// counts, pad delays and I/O pad areas, as in the paper's Table 2 subset of
+// MOSIS standard packages.
+package chip
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Package describes one chip package type.
+type Package struct {
+	Name string `json:"name"`
+	// Width and Height are the project-area dimensions in mils.
+	Width  float64 `json:"width"`
+	Height float64 `json:"height"`
+	// Pins is the total pin count of the package.
+	Pins int `json:"pins"`
+	// PadDelay is the input/output pad delay in nanoseconds, added to every
+	// off-chip signal transition.
+	PadDelay float64 `json:"padDelay"`
+	// PadArea is the area of one I/O pad in square mils; each used signal
+	// pin consumes one pad of project area.
+	PadArea float64 `json:"padArea"`
+}
+
+// ProjectArea returns the total project area in square mils.
+func (p Package) ProjectArea() float64 { return p.Width * p.Height }
+
+// UsableArea returns the project area left for logic after placing pads for
+// the given number of used signal pins.
+func (p Package) UsableArea(usedPins int) float64 {
+	a := p.ProjectArea() - float64(usedPins)*p.PadArea
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// Validate checks the package for physically meaningful values.
+func (p Package) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("chip: package with empty name")
+	}
+	if p.Width <= 0 || p.Height <= 0 {
+		return fmt.Errorf("chip %q: non-positive dimensions", p.Name)
+	}
+	if p.Pins <= 0 {
+		return fmt.Errorf("chip %q: non-positive pin count", p.Name)
+	}
+	if p.PadDelay < 0 || p.PadArea < 0 {
+		return fmt.Errorf("chip %q: negative pad delay or area", p.Name)
+	}
+	if float64(p.Pins)*p.PadArea >= p.ProjectArea() {
+		return fmt.Errorf("chip %q: pads alone exceed project area", p.Name)
+	}
+	return nil
+}
+
+// MOSISPackages returns the paper's Table 2 subset of MOSIS standard chip
+// packages. Index 0 is the paper's package No. 1 (64 pins) and index 1 its
+// package No. 2 (84 pins).
+func MOSISPackages() []Package {
+	return []Package{
+		{Name: "MOSIS-64", Width: 311.02, Height: 362.20, Pins: 64, PadDelay: 25.0, PadArea: 297.60},
+		{Name: "MOSIS-84", Width: 311.02, Height: 362.20, Pins: 84, PadDelay: 25.0, PadArea: 297.60},
+	}
+}
+
+// Chip is one physical chip instance in a multi-chip design. Partitions and
+// memory blocks are assigned to chips by index (package core).
+type Chip struct {
+	Name string  `json:"name"`
+	Pkg  Package `json:"pkg"`
+	// ReservedPins are pins that CHOP may not use for data transfer: power,
+	// ground, clocks and any user-reserved signals.
+	ReservedPins int `json:"reservedPins"`
+}
+
+// DataPins returns the number of pins available for data transfer and
+// control signaling.
+func (c Chip) DataPins() int {
+	n := c.Pkg.Pins - c.ReservedPins
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Validate checks the chip instance.
+func (c Chip) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("chip: chip with empty name")
+	}
+	if err := c.Pkg.Validate(); err != nil {
+		return err
+	}
+	if c.ReservedPins < 0 || c.ReservedPins >= c.Pkg.Pins {
+		return fmt.Errorf("chip %q: reserved pins %d out of range", c.Name, c.ReservedPins)
+	}
+	return nil
+}
+
+// Set is an ordered collection of chips forming the multi-chip target.
+type Set struct {
+	Chips []Chip `json:"chips"`
+}
+
+// NewUniformSet builds a chip set of n identical chips using pkg, with the
+// given number of reserved pins each. Chips are named chip1..chipN.
+func NewUniformSet(n int, pkg Package, reserved int) Set {
+	s := Set{Chips: make([]Chip, n)}
+	for i := range s.Chips {
+		s.Chips[i] = Chip{Name: fmt.Sprintf("chip%d", i+1), Pkg: pkg, ReservedPins: reserved}
+	}
+	return s
+}
+
+// Validate checks every chip and name uniqueness.
+func (s Set) Validate() error {
+	if len(s.Chips) == 0 {
+		return fmt.Errorf("chip: empty chip set")
+	}
+	seen := make(map[string]bool, len(s.Chips))
+	for _, c := range s.Chips {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("chip: duplicate chip name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+// ToJSON serializes the chip set for on-disk specs.
+func (s Set) ToJSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// SetFromJSON parses and validates a chip-set file.
+func SetFromJSON(data []byte) (Set, error) {
+	var s Set
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Set{}, fmt.Errorf("chip: parse: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Set{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,140 @@
+package chip
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMOSISPackagesTable2(t *testing.T) {
+	pkgs := MOSISPackages()
+	if len(pkgs) != 2 {
+		t.Fatalf("Table 2 has 2 packages, got %d", len(pkgs))
+	}
+	p1, p2 := pkgs[0], pkgs[1]
+	if p1.Pins != 64 || p2.Pins != 84 {
+		t.Fatalf("pin counts = %d, %d", p1.Pins, p2.Pins)
+	}
+	for _, p := range pkgs {
+		if p.Width != 311.02 || p.Height != 362.20 {
+			t.Fatalf("dims = %v x %v", p.Width, p.Height)
+		}
+		if p.PadDelay != 25.0 || p.PadArea != 297.60 {
+			t.Fatalf("pad = %v ns / %v mil^2", p.PadDelay, p.PadArea)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestProjectArea(t *testing.T) {
+	p := MOSISPackages()[0]
+	want := 311.02 * 362.20
+	if got := p.ProjectArea(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ProjectArea = %v, want %v", got, want)
+	}
+}
+
+func TestUsableArea(t *testing.T) {
+	p := MOSISPackages()[0]
+	full := p.ProjectArea()
+	if got := p.UsableArea(0); got != full {
+		t.Fatalf("UsableArea(0) = %v", got)
+	}
+	if got := p.UsableArea(10); got != full-10*297.60 {
+		t.Fatalf("UsableArea(10) = %v", got)
+	}
+	if got := p.UsableArea(100000); got != 0 {
+		t.Fatalf("UsableArea must clamp at zero, got %v", got)
+	}
+}
+
+func TestPackageValidate(t *testing.T) {
+	bad := []Package{
+		{Name: "", Width: 1, Height: 1, Pins: 1},
+		{Name: "x", Width: 0, Height: 1, Pins: 1},
+		{Name: "x", Width: 1, Height: 1, Pins: 0},
+		{Name: "x", Width: 1, Height: 1, Pins: 1, PadDelay: -1},
+		{Name: "x", Width: 10, Height: 10, Pins: 10, PadArea: 100}, // pads > area
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid package accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestChipDataPins(t *testing.T) {
+	c := Chip{Name: "c", Pkg: MOSISPackages()[0], ReservedPins: 4}
+	if got := c.DataPins(); got != 60 {
+		t.Fatalf("DataPins = %d", got)
+	}
+	c.ReservedPins = 1000
+	if got := c.DataPins(); got != 0 {
+		t.Fatalf("DataPins must clamp at zero, got %d", got)
+	}
+}
+
+func TestChipValidate(t *testing.T) {
+	ok := Chip{Name: "c", Pkg: MOSISPackages()[0], ReservedPins: 4}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := ok
+	bad.ReservedPins = 64
+	if err := bad.Validate(); err == nil {
+		t.Fatal("all-pins-reserved chip accepted")
+	}
+	bad2 := ok
+	bad2.Name = ""
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("empty chip name accepted")
+	}
+}
+
+func TestNewUniformSet(t *testing.T) {
+	s := NewUniformSet(3, MOSISPackages()[1], 4)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Chips) != 3 {
+		t.Fatalf("len = %d", len(s.Chips))
+	}
+	if s.Chips[0].Name != "chip1" || s.Chips[2].Name != "chip3" {
+		t.Fatalf("names = %v, %v", s.Chips[0].Name, s.Chips[2].Name)
+	}
+	for _, c := range s.Chips {
+		if c.Pkg.Pins != 84 || c.ReservedPins != 4 {
+			t.Fatalf("chip = %+v", c)
+		}
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	if err := (Set{}).Validate(); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	s := NewUniformSet(2, MOSISPackages()[0], 0)
+	s.Chips[1].Name = s.Chips[0].Name
+	if err := s.Validate(); err == nil {
+		t.Fatal("duplicate chip names accepted")
+	}
+}
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	s := NewUniformSet(2, MOSISPackages()[0], 4)
+	data, err := s.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := SetFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Chips) != 2 || back.Chips[0].Pkg.Pins != 64 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if _, err := SetFromJSON([]byte("nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"chop/internal/bad"
+	"chop/internal/chip"
+	"chop/internal/dfg"
+	"chop/internal/lib"
+	"chop/internal/mem"
+	"chop/internal/stats"
+)
+
+func exp1Config() Config {
+	return Config{
+		Lib:    lib.Table1Library(),
+		Style:  bad.Style{MultiCycle: false},
+		Clocks: bad.Clocks{MainNS: 300, DatapathMult: 10, TransferMult: 1},
+		Constraints: Constraints{
+			Perf:  stats.Constraint{Bound: 30000, MinProb: 1},
+			Delay: stats.Constraint{Bound: 30000, MinProb: 0.8},
+		},
+	}
+}
+
+func exp2Config() Config {
+	c := exp1Config()
+	c.Style = bad.Style{MultiCycle: true}
+	c.Clocks = bad.Clocks{MainNS: 300, DatapathMult: 1, TransferMult: 1}
+	c.Constraints.Perf = stats.Constraint{Bound: 20000, MinProb: 1}
+	return c
+}
+
+// arPartitioning builds the paper's n-partition AR-filter setup on n chips
+// of the given package index (0 = 64-pin, 1 = 84-pin).
+func arPartitioning(t testing.TB, n, pkgIdx int) *Partitioning {
+	t.Helper()
+	g := dfg.ARLatticeFilter(16)
+	chips := make([]int, n)
+	for i := range chips {
+		chips[i] = i
+	}
+	p := &Partitioning{
+		Graph:    g,
+		Parts:    dfg.LevelPartitions(g, n),
+		PartChip: chips,
+		Chips:    chip.NewUniformSet(n, chip.MOSISPackages()[pkgIdx], 4),
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("arPartitioning(%d): %v", n, err)
+	}
+	return p
+}
+
+func TestValidateAccepts123Partitions(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		arPartitioning(t, n, 1)
+	}
+}
+
+func TestValidateRejectsEmptyAndUncovered(t *testing.T) {
+	p := arPartitioning(t, 2, 1)
+	p.Parts = append(p.Parts, nil)
+	p.PartChip = append(p.PartChip, 0)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("empty partition accepted: %v", err)
+	}
+
+	p2 := arPartitioning(t, 2, 1)
+	p2.Parts[0] = p2.Parts[0][1:] // drop a node
+	if err := p2.Validate(); err == nil || !strings.Contains(err.Error(), "not assigned") {
+		t.Fatalf("uncovered node accepted: %v", err)
+	}
+}
+
+func TestValidateRejectsDoubleAssignment(t *testing.T) {
+	p := arPartitioning(t, 2, 1)
+	p.Parts[1] = append(p.Parts[1], p.Parts[0][0])
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "partitions 0 and 1") {
+		t.Fatalf("double assignment accepted: %v", err)
+	}
+}
+
+func TestValidateRejectsIONodeInPartition(t *testing.T) {
+	p := arPartitioning(t, 1, 1)
+	p.Parts[0] = append(p.Parts[0], p.Graph.Inputs()[0])
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "I/O marker") {
+		t.Fatalf("I/O node accepted: %v", err)
+	}
+}
+
+func TestValidateRejectsBadChipAssignment(t *testing.T) {
+	p := arPartitioning(t, 2, 1)
+	p.PartChip[1] = 7
+	if err := p.Validate(); err == nil {
+		t.Fatal("out-of-range chip accepted")
+	}
+	p2 := arPartitioning(t, 2, 1)
+	p2.PartChip = p2.PartChip[:1]
+	if err := p2.Validate(); err == nil {
+		t.Fatal("missing chip assignment accepted")
+	}
+}
+
+func TestValidateRejectsMutualDependency(t *testing.T) {
+	// a -> b -> c with a,c in partition 0 and b in partition 1: 0->1 and
+	// 1->0 flows, mutual dependency.
+	g := dfg.New("mutual")
+	a := g.AddNode("a", dfg.OpAdd, 16)
+	b := g.AddNode("b", dfg.OpAdd, 16)
+	c := g.AddNode("c", dfg.OpAdd, 16)
+	g.MustConnect(a, b)
+	g.MustConnect(b, c)
+	p := &Partitioning{
+		Graph:    g,
+		Parts:    [][]int{{a, c}, {b}},
+		PartChip: []int{0, 1},
+		Chips:    chip.NewUniformSet(2, chip.MOSISPackages()[1], 4),
+	}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "mutual") {
+		t.Fatalf("mutual dependency accepted: %v", err)
+	}
+}
+
+func TestValidateAllowsCyclicFlowAmongChips(t *testing.T) {
+	// Two mutually independent partition pairs on two chips arranged so
+	// data flows chip1 -> chip2 -> chip1 (paper Fig. 2, chip 4 note):
+	// P1(chip0) -> P2(chip1) -> P3(chip0).
+	g := dfg.New("cyclicchips")
+	a := g.AddNode("a", dfg.OpAdd, 16)
+	b := g.AddNode("b", dfg.OpAdd, 16)
+	c := g.AddNode("c", dfg.OpAdd, 16)
+	g.MustConnect(a, b)
+	g.MustConnect(b, c)
+	p := &Partitioning{
+		Graph:    g,
+		Parts:    [][]int{{a}, {b}, {c}},
+		PartChip: []int{0, 1, 0},
+		Chips:    chip.NewUniformSet(2, chip.MOSISPackages()[1], 4),
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("cyclic chip-level flow rejected: %v", err)
+	}
+}
+
+func TestValidateMemSystem(t *testing.T) {
+	p := arPartitioning(t, 1, 1)
+	p.Mem = mem.System{
+		Blocks: []mem.Block{{Name: "MA", Words: 16, Width: 16, Ports: 1, AccessTime: 50, Area: 5000}},
+		Assign: mem.Assignment{"MA": 9},
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("bad memory assignment accepted")
+	}
+}
+
+func TestSubgraphs(t *testing.T) {
+	p := arPartitioning(t, 2, 1)
+	subs := p.Subgraphs()
+	if len(subs) != 2 {
+		t.Fatalf("subgraphs = %d", len(subs))
+	}
+	total := 0
+	for _, s := range subs {
+		for _, n := range s.Nodes {
+			if n.Op.NeedsFU() {
+				total++
+			}
+		}
+	}
+	if total != 28 {
+		t.Fatalf("subgraphs cover %d compute nodes", total)
+	}
+}
+
+func TestPredictPartitionsCounts(t *testing.T) {
+	// Paper Table 3 magnitude check: prediction totals grow with the
+	// partition count, and the feasible counts are a small fraction.
+	cfg := exp1Config()
+	prev := 0
+	for n := 1; n <= 3; n++ {
+		p := arPartitioning(t, n, 1)
+		preds, err := PredictPartitions(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot, feas := 0, 0
+		for _, r := range preds {
+			tot += r.Total
+			feas += r.Feasible
+		}
+		if tot == 0 {
+			t.Fatalf("n=%d: no predictions", n)
+		}
+		if n > 1 && tot < prev {
+			t.Fatalf("n=%d predictions (%d) below n=%d (%d)", n, tot, n-1, prev)
+		}
+		if feas*3 > tot {
+			t.Fatalf("n=%d: feasible (%d) should be a small fraction of %d", n, feas, tot)
+		}
+		prev = tot
+	}
+}
+
+func TestPredictPartitionsTable5LargerThanTable3(t *testing.T) {
+	p := arPartitioning(t, 2, 1)
+	r1, err := PredictPartitions(p, exp1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := PredictPartitions(p, exp2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2 := r1[0].Total+r1[1].Total, r2[0].Total+r2[1].Total
+	if t2 <= t1*2 {
+		t.Fatalf("multi-cycle space %d should dwarf single-cycle %d", t2, t1)
+	}
+}
+
+func TestFindCycle(t *testing.T) {
+	acyclic := [][]bool{{false, true}, {false, false}}
+	if s := findCycle(acyclic); s != "" {
+		t.Fatalf("false cycle: %s", s)
+	}
+	cyclic := [][]bool{{false, true}, {true, false}}
+	if s := findCycle(cyclic); s == "" {
+		t.Fatal("2-cycle missed")
+	}
+	three := [][]bool{
+		{false, true, false},
+		{false, false, true},
+		{true, false, false},
+	}
+	if s := findCycle(three); s == "" {
+		t.Fatal("3-cycle missed")
+	}
+}

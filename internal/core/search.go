@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"chop/internal/bad"
+)
+
+// Heuristic selects the combination-search strategy (paper section 2.4:
+// "the designer may choose between two separate heuristics at run-time").
+type Heuristic int
+
+// The two heuristics of the paper.
+const (
+	// Enumeration explicitly enumerates all combinations of per-partition
+	// predicted implementations ("E" in the paper's tables).
+	Enumeration Heuristic = iota
+	// Iterative is the Figure-5 algorithm: for each feasible initiation
+	// interval start from the fastest implementations and serialize
+	// partitions on area-violating chips ("I" in the tables).
+	Iterative
+)
+
+func (h Heuristic) String() string {
+	if h == Iterative {
+		return "I"
+	}
+	return "E"
+}
+
+// SpacePoint is one explored global design point, recorded when pruning is
+// disabled (the dots of paper Figs. 7 and 8).
+type SpacePoint struct {
+	AreaML   float64 // total most-likely silicon area, square mils
+	DelayNS  float64 // most-likely system delay, ns
+	IIMain   int     // system initiation interval, main cycles
+	Feasible bool
+}
+
+// SearchResult aggregates one heuristic run over a partitioning.
+type SearchResult struct {
+	Heuristic Heuristic
+	// Trials counts the global implementation combinations examined (the
+	// "Partitioning Imp. Trials" column); FeasibleTrials those found
+	// feasible (the "Feasible Trials" column).
+	Trials, FeasibleTrials int
+	// Best holds the non-inferior feasible global designs, fastest first.
+	Best []GlobalDesign
+	// Space holds every explored point when Config.KeepAll is set.
+	Space []SpacePoint
+}
+
+// maxCombinations guards the explicit enumeration against explosive inputs.
+const maxCombinations = 5_000_000
+
+// Search runs the selected heuristic over per-partition predictions
+// produced by PredictPartitions.
+func Search(p *Partitioning, cfg Config, preds []bad.Result, h Heuristic) (SearchResult, error) {
+	it, err := newIntegrator(p, cfg)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	lists := make([][]bad.Design, len(preds))
+	for i, r := range preds {
+		lists[i] = r.Designs
+	}
+	switch h {
+	case Enumeration:
+		return enumerate(it, cfg, lists)
+	case Iterative:
+		return iterative(it, cfg, lists)
+	default:
+		return SearchResult{}, fmt.Errorf("core: unknown heuristic %d", h)
+	}
+}
+
+// Run is the convenience entry point: predict every partition with BAD,
+// then search with the chosen heuristic. It returns both the search result
+// and the per-partition prediction statistics (paper Tables 3/5).
+func Run(p *Partitioning, cfg Config, h Heuristic) (SearchResult, []bad.Result, error) {
+	preds, err := PredictPartitions(p, cfg)
+	if err != nil {
+		return SearchResult{}, nil, err
+	}
+	res, err := Search(p, cfg, preds, h)
+	return res, preds, err
+}
+
+func enumerate(it *integrator, cfg Config, lists [][]bad.Design) (SearchResult, error) {
+	res := SearchResult{Heuristic: Enumeration}
+	total := 1
+	for _, l := range lists {
+		if len(l) == 0 {
+			// A partition without viable predictions makes every
+			// combination infeasible: nothing to search.
+			return res, nil
+		}
+		if total > maxCombinations/len(l) {
+			return res, fmt.Errorf("core: enumeration space exceeds %d combinations; enable pruning",
+				maxCombinations)
+		}
+		total *= len(l)
+	}
+	idx := make([]int, len(lists))
+	choice := make([]bad.Design, len(lists))
+	for {
+		for i, j := range idx {
+			choice[i] = lists[i][j]
+		}
+		// The system interval is set by the slowest partition
+		// implementation in the combination.
+		l := 0
+		for _, d := range choice {
+			if ii := d.IIMainCycles(cfg.Clocks); ii > l {
+				l = ii
+			}
+		}
+		res.Trials++
+		g, err := it.integrate(cloneChoice(choice), l)
+		if err != nil {
+			return res, err
+		}
+		record(&res, cfg, g)
+		// odometer
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(lists[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	finishSearch(&res)
+	return res, nil
+}
+
+// iterative implements the paper's Figure 5 algorithm.
+func iterative(it *integrator, cfg Config, lists [][]bad.Design) (SearchResult, error) {
+	res := SearchResult{Heuristic: Iterative}
+	for _, l := range lists {
+		if len(l) == 0 {
+			return res, nil // see enumerate: no viable combination exists
+		}
+	}
+	// Candidate system initiation intervals: every distinct II offered by
+	// any partition that is not below the floor imposed by the slowest
+	// partition's fastest design, bounded by the performance constraint.
+	floor := 0
+	for _, list := range lists {
+		min := list[0].IIMainCycles(cfg.Clocks)
+		for _, d := range list[1:] {
+			if ii := d.IIMainCycles(cfg.Clocks); ii < min {
+				min = ii
+			}
+		}
+		if min > floor {
+			floor = min
+		}
+	}
+	cand := map[int]bool{}
+	for _, list := range lists {
+		for _, d := range list {
+			ii := d.IIMainCycles(cfg.Clocks)
+			if ii >= floor {
+				cand[ii] = true
+			}
+		}
+	}
+	var intervals []int
+	for l := range cand {
+		if b := cfg.Constraints.Perf; b.Bound > 0 && float64(l)*cfg.Clocks.MainNS > b.Bound {
+			continue // even the unadjusted clock busts the bound
+		}
+		intervals = append(intervals, l)
+	}
+	sort.Ints(intervals)
+
+	for _, l := range intervals {
+		// Initialize W_i to the fastest valid implementation at interval l
+		// (paper: advance each W_i until L_i >= l or W_i is non-pipelined
+		// with L_i <= l).
+		w := make([]int, len(lists))
+		valid := true
+		for i, list := range lists {
+			w[i] = nextValid(list, -1, l, cfg)
+			if w[i] < 0 {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			continue
+		}
+		for {
+			choice := make([]bad.Design, len(lists))
+			for i := range lists {
+				choice[i] = lists[i][w[i]]
+			}
+			res.Trials++
+			g, err := it.integrate(choice, l)
+			if err != nil {
+				return res, err
+			}
+			record(&res, cfg, g)
+			if g.Feasible {
+				break // Q := nil
+			}
+			// Q: partitions residing on chips whose area constraint was
+			// violated by the last integration prediction.
+			q := partitionsOnChips(it.p, g.AreaViolations)
+			if len(q) == 0 {
+				break
+			}
+			// Tentatively serialize each candidate and keep the one whose
+			// expected system delay (via urgency scheduling) is minimal.
+			bestQ, bestDelay := -1, 0
+			for _, pi := range q {
+				ni := nextValid(lists[pi], w[pi], l, cfg)
+				if ni < 0 {
+					continue
+				}
+				trial := make([]bad.Design, len(lists))
+				for i := range lists {
+					trial[i] = lists[i][w[i]]
+				}
+				trial[pi] = lists[pi][ni]
+				res.Trials++
+				tg, err := it.integrate(trial, l)
+				if err != nil {
+					return res, err
+				}
+				record(&res, cfg, tg)
+				if bestQ < 0 || tg.DelayMain < bestDelay {
+					bestQ, bestDelay = pi, tg.DelayMain
+				}
+			}
+			if bestQ < 0 {
+				break // no partition can be serialized further
+			}
+			w[bestQ] = nextValid(lists[bestQ], w[bestQ], l, cfg)
+		}
+	}
+	finishSearch(&res)
+	return res, nil
+}
+
+// nextValid returns the index of the first design after `from` that is
+// selectable at system interval l, or -1.
+func nextValid(list []bad.Design, from, l int, cfg Config) int {
+	for i := from + 1; i < len(list); i++ {
+		if selectionOK(list[i], l, cfg.Clocks) {
+			return i
+		}
+	}
+	return -1
+}
+
+// partitionsOnChips returns the partitions residing on any of the given
+// chips, in ascending order.
+func partitionsOnChips(p *Partitioning, chips []int) []int {
+	onChip := map[int]bool{}
+	for _, c := range chips {
+		onChip[c] = true
+	}
+	var out []int
+	for pi, ci := range p.PartChip {
+		if onChip[ci] {
+			out = append(out, pi)
+		}
+	}
+	return out
+}
+
+func cloneChoice(c []bad.Design) []bad.Design {
+	out := make([]bad.Design, len(c))
+	copy(out, c)
+	return out
+}
+
+// record books a trial into the search result, applying level-2 pruning:
+// infeasible global predictions are discarded immediately unless KeepAll.
+func record(res *SearchResult, cfg Config, g GlobalDesign) {
+	if g.Feasible {
+		res.FeasibleTrials++
+		res.Best = append(res.Best, g)
+	}
+	// Early-rejected combinations (rate mismatch, data clash) never reach
+	// the area/delay predictions and contribute no point to the figures.
+	if cfg.KeepAll && len(g.ChipArea) > 0 {
+		res.Space = append(res.Space, SpacePoint{
+			AreaML:   g.TotalArea(),
+			DelayNS:  g.DelayNS.ML,
+			IIMain:   g.IIMain,
+			Feasible: g.Feasible,
+		})
+	}
+}
+
+// finishSearch reduces Best to the non-inferior set: no kept design is
+// dominated on (II, system delay), matching the "feasible and non-inferior
+// predicted designs" reported in the paper's tables.
+func finishSearch(res *SearchResult) {
+	sort.SliceStable(res.Best, func(i, j int) bool {
+		if res.Best[i].IIMain != res.Best[j].IIMain {
+			return res.Best[i].IIMain < res.Best[j].IIMain
+		}
+		return res.Best[i].DelayMain < res.Best[j].DelayMain
+	})
+	var keep []GlobalDesign
+	for _, g := range res.Best {
+		dominated := false
+		for _, k := range keep {
+			if k.IIMain <= g.IIMain && k.DelayMain <= g.DelayMain {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			keep = append(keep, g)
+		}
+	}
+	res.Best = keep
+}

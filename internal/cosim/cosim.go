@@ -1,0 +1,277 @@
+// Package cosim functionally verifies a complete multi-chip implementation:
+// it synthesizes every partition's chosen design to an RTL netlist (package
+// rtl), simulates the netlists in partition-dependency order routing values
+// across the chip boundaries exactly as the data-transfer tasks would, and
+// compares the system's outputs against the behavioral golden model. This
+// closes the loop the paper leaves as future work: "an immediate task is to
+// synthesize ... some partitioned designs".
+package cosim
+
+import (
+	"fmt"
+	"strings"
+
+	"chop/internal/bad"
+	"chop/internal/core"
+	"chop/internal/dfg"
+	"chop/internal/rtl"
+	"chop/internal/sim"
+)
+
+// Verify synthesizes choice (one design per partition, e.g. a GlobalDesign's
+// Choice) and checks the composed system against the whole-behavior golden
+// model on the given inputs. Only non-pipelined partition designs can be
+// verified this way (the single-sample netlist interpreter); pipelined
+// partitions report an unsupported error.
+func Verify(p *core.Partitioning, cfg core.Config, choice []bad.Design,
+	inputs map[string]int64, coef sim.Coeffs) error {
+
+	if len(choice) != p.NumParts() {
+		return fmt.Errorf("cosim: %d designs for %d partitions", len(choice), p.NumParts())
+	}
+	if coef == nil {
+		coef = sim.DefaultCoeffs
+	}
+	// Coefficients must agree between the full graph and the partition
+	// subgraphs even though node IDs differ: resolve by node name.
+	byName := make(map[string]dfg.Node, len(p.Graph.Nodes))
+	for _, n := range p.Graph.Nodes {
+		byName[n.Name] = n
+	}
+	coefByName := func(n dfg.Node) int64 {
+		if orig, ok := byName[n.Name]; ok {
+			return coef(orig)
+		}
+		return coef(n)
+	}
+
+	golden, err := sim.Evaluate(p.Graph, inputs, coef)
+	if err != nil {
+		return err
+	}
+
+	// Values available in the "system": primary inputs plus every value
+	// transferred between chips, keyed by producer name.
+	produced := make(map[string]int64, len(inputs))
+	for _, id := range p.Graph.Inputs() {
+		name := p.Graph.Nodes[id].Name
+		produced[name] = inputs[name]
+	}
+
+	order, err := partitionOrder(p)
+	if err != nil {
+		return err
+	}
+	subs := p.Subgraphs()
+	for _, pi := range order {
+		sub := subs[pi]
+		d := choice[pi]
+		if d.Style != bad.NonPipelined {
+			return fmt.Errorf("cosim: partition %d uses a pipelined design; use the stream testbench", pi+1)
+		}
+		cyc := rtl.OpCyclesFor(d, cfg.Style.MultiCycle, cfg.Clocks.DatapathNS())
+		nl, err := rtl.Bind(sub, d, cfg.Lib, cyc)
+		if err != nil {
+			return fmt.Errorf("cosim: partition %d: %w", pi+1, err)
+		}
+		ins := map[string]int64{}
+		for _, id := range sub.Inputs() {
+			name := sub.Nodes[id].Name
+			v, ok := produced[name]
+			if !ok {
+				return fmt.Errorf("cosim: partition %d needs %q before it was produced (schedule order broken)",
+					pi+1, name)
+			}
+			ins[name] = v
+		}
+		outs, err := sim.RunNetlist(sub, nl, ins, coefByName)
+		if err != nil {
+			return fmt.Errorf("cosim: partition %d: %w", pi+1, err)
+		}
+		for name, v := range outs {
+			produced[strings.TrimPrefix(name, "out:")] = v
+		}
+	}
+
+	// System outputs: the whole graph's OpOutput markers read their
+	// producer's transferred value.
+	for _, id := range p.Graph.Outputs() {
+		out := p.Graph.Nodes[id]
+		src := p.Graph.Preds(id)
+		if len(src) != 1 {
+			return fmt.Errorf("cosim: output %q has %d producers", out.Name, len(src))
+		}
+		got, ok := produced[p.Graph.Nodes[src[0]].Name]
+		if !ok {
+			return fmt.Errorf("cosim: output %q never produced", out.Name)
+		}
+		if got != golden[out.Name] {
+			return fmt.Errorf("cosim: output %q = %d, golden model says %d",
+				out.Name, got, golden[out.Name])
+		}
+	}
+	return nil
+}
+
+// partitionOrder topologically orders partitions by their data dependencies.
+func partitionOrder(p *core.Partitioning) ([]int, error) {
+	n := p.NumParts()
+	dep := p.Graph.PartitionDAG(p.Assignment(), n)
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if dep[i][j] {
+				indeg[j]++
+			}
+		}
+	}
+	var queue, order []int
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for v := 0; v < n; v++ {
+			if dep[u][v] {
+				indeg[v]--
+				if indeg[v] == 0 {
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("cosim: partition dependencies are cyclic")
+	}
+	return order, nil
+}
+
+// VerifyBest is a convenience: run CHOP, take the fastest feasible global
+// design whose partitions are all non-pipelined, and verify it. It returns
+// an error when no such design exists.
+func VerifyBest(p *core.Partitioning, cfg core.Config, h core.Heuristic,
+	inputs map[string]int64, coef sim.Coeffs) error {
+
+	res, _, err := core.Run(p, cfg, h)
+	if err != nil {
+		return err
+	}
+	for _, g := range res.Best {
+		allNP := true
+		for _, d := range g.Choice {
+			if d.Style != bad.NonPipelined {
+				allNP = false
+				break
+			}
+		}
+		if allNP {
+			return Verify(p, cfg, g.Choice, inputs, coef)
+		}
+	}
+	return fmt.Errorf("cosim: no feasible all-non-pipelined global design to verify")
+}
+
+// VerifyStream is the pipelined counterpart of Verify: it streams several
+// samples through the composed system with every partition running its own
+// (possibly pipelined) netlist, one new sample entering each partition every
+// system interval. Values are routed between partitions per sample; each
+// sample's outputs must match the golden model. Partition designs may mix
+// pipelined and non-pipelined styles, exactly as CHOP's selection rules
+// allow.
+func VerifyStream(p *core.Partitioning, cfg core.Config, choice []bad.Design,
+	inputs []map[string]int64, coef sim.Coeffs) error {
+
+	if len(choice) != p.NumParts() {
+		return fmt.Errorf("cosim: %d designs for %d partitions", len(choice), p.NumParts())
+	}
+	if len(inputs) == 0 {
+		return nil
+	}
+	if coef == nil {
+		coef = sim.DefaultCoeffs
+	}
+	byName := make(map[string]dfg.Node, len(p.Graph.Nodes))
+	for _, n := range p.Graph.Nodes {
+		byName[n.Name] = n
+	}
+	coefByName := func(n dfg.Node) int64 {
+		if orig, ok := byName[n.Name]; ok {
+			return coef(orig)
+		}
+		return coef(n)
+	}
+
+	// produced[k][name] is sample k's value of the named producer.
+	produced := make([]map[string]int64, len(inputs))
+	for k, in := range inputs {
+		produced[k] = map[string]int64{}
+		for _, id := range p.Graph.Inputs() {
+			name := p.Graph.Nodes[id].Name
+			produced[k][name] = in[name]
+		}
+	}
+
+	order, err := partitionOrder(p)
+	if err != nil {
+		return err
+	}
+	subs := p.Subgraphs()
+	for _, pi := range order {
+		sub := subs[pi]
+		d := choice[pi]
+		cyc := rtl.OpCyclesFor(d, cfg.Style.MultiCycle, cfg.Clocks.DatapathNS())
+		nl, err := rtl.Bind(sub, d, cfg.Lib, cyc)
+		if err != nil {
+			return fmt.Errorf("cosim: partition %d: %w", pi+1, err)
+		}
+		streams := make([]map[string]int64, len(inputs))
+		for k := range inputs {
+			streams[k] = map[string]int64{}
+			for _, id := range sub.Inputs() {
+				name := sub.Nodes[id].Name
+				v, ok := produced[k][name]
+				if !ok {
+					return fmt.Errorf("cosim: partition %d sample %d needs %q before it was produced",
+						pi+1, k, name)
+				}
+				streams[k][name] = v
+			}
+		}
+		outs, err := sim.RunPipelined(sub, nl, streams, coefByName)
+		if err != nil {
+			return fmt.Errorf("cosim: partition %d: %w", pi+1, err)
+		}
+		for k := range inputs {
+			for name, v := range outs[k] {
+				produced[k][strings.TrimPrefix(name, "out:")] = v
+			}
+		}
+	}
+
+	for k, in := range inputs {
+		golden, err := sim.Evaluate(p.Graph, in, coef)
+		if err != nil {
+			return err
+		}
+		for _, id := range p.Graph.Outputs() {
+			out := p.Graph.Nodes[id]
+			src := p.Graph.Preds(id)
+			if len(src) != 1 {
+				return fmt.Errorf("cosim: output %q has %d producers", out.Name, len(src))
+			}
+			got, ok := produced[k][p.Graph.Nodes[src[0]].Name]
+			if !ok {
+				return fmt.Errorf("cosim: sample %d output %q never produced", k, out.Name)
+			}
+			if got != golden[out.Name] {
+				return fmt.Errorf("cosim: sample %d output %q = %d, golden model says %d",
+					k, out.Name, got, golden[out.Name])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package cosim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"chop/internal/bad"
+	"chop/internal/chip"
+	"chop/internal/core"
+	"chop/internal/dfg"
+	"chop/internal/lib"
+	"chop/internal/stats"
+)
+
+func exp2Config() core.Config {
+	return core.Config{
+		Lib:    lib.Table1Library(),
+		Style:  bad.Style{MultiCycle: true, NoPipelined: true},
+		Clocks: bad.Clocks{MainNS: 300, DatapathMult: 1, TransferMult: 1},
+		Constraints: core.Constraints{
+			Perf:  stats.Constraint{Bound: 20000, MinProb: 1},
+			Delay: stats.Constraint{Bound: 30000, MinProb: 0.8},
+		},
+	}
+}
+
+func arPartitioning(t *testing.T, n int) *core.Partitioning {
+	t.Helper()
+	g := dfg.ARLatticeFilter(16)
+	chips := make([]int, n)
+	for i := range chips {
+		chips[i] = i
+	}
+	p := &core.Partitioning{
+		Graph:    g,
+		Parts:    dfg.LevelPartitions(g, n),
+		PartChip: chips,
+		Chips:    chip.NewUniformSet(n, chip.MOSISPackages()[1], 4),
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func arInputs(seed int64) map[string]int64 {
+	rng := rand.New(rand.NewSource(seed))
+	return map[string]int64{
+		"x1": int64(rng.Intn(200) - 100), "x2": int64(rng.Intn(200) - 100),
+		"x3": int64(rng.Intn(200) - 100), "x4": int64(rng.Intn(200) - 100),
+	}
+}
+
+// TestMultiChipSystemMatchesGolden is the end-to-end reproduction check:
+// the AR filter partitioned onto 1, 2 and 3 chips, each partition's chosen
+// design synthesized to RTL, values routed across chip boundaries, outputs
+// compared with the unpartitioned behavior.
+func TestMultiChipSystemMatchesGolden(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		p := arPartitioning(t, n)
+		for seed := int64(1); seed <= 4; seed++ {
+			if err := VerifyBest(p, exp2Config(), core.Iterative, arInputs(seed), nil); err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsWrongChoiceCount(t *testing.T) {
+	p := arPartitioning(t, 2)
+	if err := Verify(p, exp2Config(), nil, arInputs(1), nil); err == nil {
+		t.Fatal("empty choice accepted")
+	}
+}
+
+func TestVerifyRejectsPipelinedChoice(t *testing.T) {
+	p := arPartitioning(t, 2)
+	cfg := exp2Config()
+	cfg.Style.NoPipelined = false
+	preds, err := core.PredictPartitions(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pip *bad.Design
+	for i := range preds[0].Designs {
+		if preds[0].Designs[i].Style == bad.Pipelined {
+			pip = &preds[0].Designs[i]
+			break
+		}
+	}
+	if pip == nil {
+		t.Skip("no pipelined design")
+	}
+	choice := []bad.Design{*pip, preds[1].Designs[0]}
+	err = Verify(p, cfg, choice, arInputs(1), nil)
+	if err == nil || !strings.Contains(err.Error(), "pipelined") {
+		t.Fatalf("pipelined choice accepted: %v", err)
+	}
+}
+
+func TestMultiChipRandomBehaviors(t *testing.T) {
+	for seed := int64(60); seed <= 68; seed++ {
+		g := dfg.RandomDAG(seed, 4, 18, 16)
+		p := &core.Partitioning{
+			Graph:    g,
+			Parts:    dfg.LevelPartitions(g, 2),
+			PartChip: []int{0, 1},
+			Chips:    chip.NewUniformSet(2, chip.MOSISPackages()[1], 4),
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cfg := exp2Config()
+		cfg.Lib = lib.ExtendedLibrary() // random DAGs contain subtractions
+		rng := rand.New(rand.NewSource(seed))
+		inputs := map[string]int64{}
+		for _, id := range g.Inputs() {
+			inputs[g.Nodes[id].Name] = int64(rng.Intn(201) - 100)
+		}
+		err := VerifyBest(p, cfg, core.Iterative, inputs, nil)
+		if err != nil && strings.Contains(err.Error(), "no feasible") {
+			continue // constraints can be unreachable for odd graphs
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestStreamedMultiChipPipelinedSystem runs the experiment-2 2-partition
+// best design — which typically selects pipelined partition implementations
+// — as a streamed multi-chip system and checks every sample against the
+// golden model.
+func TestStreamedMultiChipPipelinedSystem(t *testing.T) {
+	p := arPartitioning(t, 2)
+	cfg := exp2Config()
+	cfg.Style.NoPipelined = false // allow pipelined partition designs
+	res, _, err := core.Run(p, cfg, core.Enumeration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Best) == 0 {
+		t.Fatal("no feasible design")
+	}
+	// Prefer a design with at least one pipelined partition to make the
+	// test meaningful; fall back to the fastest otherwise.
+	chosen := res.Best[0]
+	for _, g := range res.Best {
+		for _, d := range g.Choice {
+			if d.Style == bad.Pipelined {
+				chosen = g
+				break
+			}
+		}
+	}
+	streams := make([]map[string]int64, 6)
+	for k := range streams {
+		streams[k] = arInputs(int64(k + 11))
+	}
+	if err := VerifyStream(p, cfg, chosen.Choice, streams, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyStreamEmptyAndMismatch(t *testing.T) {
+	p := arPartitioning(t, 2)
+	cfg := exp2Config()
+	preds, err := core.PredictPartitions(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := []bad.Design{preds[0].Designs[0], preds[1].Designs[0]}
+	if err := VerifyStream(p, cfg, full, nil, nil); err != nil {
+		t.Fatalf("empty stream must be a no-op: %v", err)
+	}
+	short := full[:1] // wrong count
+	if err := VerifyStream(p, cfg, short, []map[string]int64{arInputs(1)}, nil); err == nil {
+		t.Fatal("wrong choice count accepted")
+	}
+}
+
+func TestVerifyStreamThreeChips(t *testing.T) {
+	p := arPartitioning(t, 3)
+	cfg := exp2Config()
+	cfg.Style.NoPipelined = false
+	res, _, err := core.Run(p, cfg, core.Iterative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Best) == 0 {
+		t.Skip("no feasible 3-chip design")
+	}
+	streams := make([]map[string]int64, 5)
+	for k := range streams {
+		streams[k] = arInputs(int64(k + 40))
+	}
+	if err := VerifyStream(p, cfg, res.Best[0].Choice, streams, nil); err != nil {
+		t.Fatal(err)
+	}
+}

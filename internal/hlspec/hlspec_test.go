@@ -1,0 +1,318 @@
+package hlspec
+
+import (
+	"strings"
+	"testing"
+
+	"chop/internal/dfg"
+	"chop/internal/sim"
+)
+
+func compile(t *testing.T, src string) *dfg.Graph {
+	t.Helper()
+	g, err := Compile("t", src, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCompileStraightLine(t *testing.T) {
+	g := compile(t, `
+		input a, b
+		t1 = a * b
+		t2 = t1 + a
+		output t2
+	`)
+	c := g.OpCounts()
+	if c[dfg.OpMul] != 1 || c[dfg.OpAdd] != 1 {
+		t.Fatalf("ops = %v", c)
+	}
+	if len(g.Inputs()) != 2 || len(g.Outputs()) != 1 {
+		t.Fatalf("io = %d/%d", len(g.Inputs()), len(g.Outputs()))
+	}
+	out, err := sim.Evaluate(g, map[string]int64{"a": 3, "b": 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := firstValue(out); v != 15 { // 3*4+3
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func firstValue(m map[string]int64) int64 {
+	for _, v := range m {
+		return v
+	}
+	return -1
+}
+
+func TestPrecedenceAndParens(t *testing.T) {
+	g := compile(t, `
+		input a, b, c
+		x = a + b * c
+		y = (a + b) * c
+		output x, y
+	`)
+	out, err := sim.Evaluate(g, map[string]int64{"a": 2, "b": 3, "c": 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x, y int64
+	for name, v := range out {
+		if strings.HasPrefix(name, "out_x") {
+			x = v
+		}
+		if strings.HasPrefix(name, "out_y") {
+			y = v
+		}
+	}
+	if x != 14 || y != 20 {
+		t.Fatalf("x=%d y=%d", x, y)
+	}
+}
+
+func TestConstantFoldingAndCoefficients(t *testing.T) {
+	g := compile(t, `
+		input a
+		x = a * (2 + 3)   # folds to a * 5 with coefficient 5
+		output x
+	`)
+	c := g.OpCounts()
+	if c[dfg.OpMul] != 1 || c[dfg.OpAdd] != 0 {
+		t.Fatalf("constant not folded: %v", c)
+	}
+	out, err := sim.Evaluate(g, map[string]int64{"a": 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstValue(out) != 35 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestSubtractionAndDivisionAndCmp(t *testing.T) {
+	g := compile(t, `
+		input a, b
+		d = a - b
+		q = a / 2
+		f = lt(a, b)
+		output d, q, f
+	`)
+	out, err := sim.Evaluate(g, map[string]int64{"a": 10, "b": 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]int64{}
+	for name, v := range out {
+		vals[name[:5]] = v // out_d, out_q, out_f prefixes
+	}
+	if vals["out_d"] != 6 || vals["out_q"] != 5 || vals["out_f"] != 0 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestLoopUnrolling(t *testing.T) {
+	// acc accumulates a four times: acc = a*4 + a (initial).
+	g := compile(t, `
+		input a
+		acc = a
+		loop 4 {
+			acc = acc + a
+		}
+		output acc
+	`)
+	if c := g.OpCounts(); c[dfg.OpAdd] != 4 {
+		t.Fatalf("loop not unrolled to 4 adds: %v", c)
+	}
+	out, err := sim.Evaluate(g, map[string]int64{"a": 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstValue(out) != 15 {
+		t.Fatalf("out = %v, want 15", out)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	g := compile(t, `
+		input a
+		acc = a
+		loop 2 {
+			loop 3 {
+				acc = acc + a
+			}
+			acc = acc * 2
+		}
+		output acc
+	`)
+	// ((a + 3a)*2 + 3a)*2 = (8a + 3a)*2 = 22a
+	out, err := sim.Evaluate(g, map[string]int64{"a": 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstValue(out) != 22 {
+		t.Fatalf("out = %v, want 22", out)
+	}
+	if c := g.OpCounts(); c[dfg.OpAdd] != 6 || c[dfg.OpMul] != 2 {
+		t.Fatalf("unroll shape: %v", c)
+	}
+}
+
+func TestLoopCarriedChainIsSerial(t *testing.T) {
+	g := compile(t, `
+		input a
+		acc = a
+		loop 8 {
+			acc = acc + a
+		}
+		output acc
+	`)
+	lv, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for _, l := range lv {
+		if l > max {
+			max = l
+		}
+	}
+	if max < 7 {
+		t.Fatalf("loop-carried chain should be serial, depth %d", max)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	g := compile(t, `
+		input x
+		c = read(COEF)
+		y = x * c
+		write(ACC, y)
+		output y
+	`)
+	counts := 0
+	for _, n := range g.Nodes {
+		if n.Op.IsMemory() {
+			counts++
+			if n.Mem == "" {
+				t.Fatal("memory node without block")
+			}
+		}
+	}
+	if counts != 2 {
+		t.Fatalf("memory nodes = %d", counts)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined var":      "input a\nx = a + zz\noutput x",
+		"bad loop count":     "input a\nloop x {\na = a\n}\noutput a",
+		"unterminated loop":  "input a\nloop 2 {\na = a + a",
+		"stray brace":        "input a\n}\noutput a",
+		"bad char":           "input a\nx = a $ a\noutput x",
+		"missing paren":      "input a\nx = (a + a\noutput x",
+		"const output":       "x = 1 + 2\noutput x",
+		"const lhs noncomm":  "input a\nx = 4 / a\noutput x",
+		"missing output var": "input a\noutput nope",
+		"div by zero const":  "input a\nx = a + 4/0\noutput x",
+		"redefine input":     "input a\ninput a\noutput a",
+		"no parse":           "input a\nfrobnicate\noutput a",
+		"loop without brace": "input a\nloop 3\noutput a",
+	}
+	for name, src := range cases {
+		if _, err := Compile("t", src, 16); err == nil {
+			t.Errorf("%s: compiled without error", name)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	g := compile(t, `
+		# a comment-only line
+
+		input a   # trailing comment
+		x = a + a
+		output x
+	`)
+	if c := g.OpCounts(); c[dfg.OpAdd] != 1 {
+		t.Fatalf("ops = %v", c)
+	}
+}
+
+// TestCompiledGraphThroughFullFlow compiles a small convolution with an
+// unrolled loop and pushes it through CHOP end to end.
+func TestCompiledGraphThroughFullFlow(t *testing.T) {
+	g := compile(t, `
+		input x0, x1, x2, x3
+		acc = x0 * 11
+		acc = acc + x1 * 12
+		acc = acc + x2 * 13
+		acc = acc + x3 * 14
+		loop 2 {
+			acc = acc * 3 + x0
+		}
+		output acc
+	`)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// golden: conv = 11x0+12x1+13x2+14x3; then twice acc = acc*3 + x0
+	in := map[string]int64{"x0": 1, "x1": 2, "x2": 3, "x3": 4}
+	conv := int64(11 + 24 + 39 + 56)
+	want := (conv*3+1)*3 + 1
+	out, err := sim.Evaluate(g, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstValue(out) != want {
+		t.Fatalf("out = %v, want %d", out, want)
+	}
+}
+
+// TestCompileNeverPanics fuzzes the parser with mangled variants of a valid
+// program: whatever the input, Compile must return an error or a valid
+// graph, never panic.
+func TestCompileNeverPanics(t *testing.T) {
+	base := "input a, b\nx = a * 3 + b\nloop 2 {\nx = x + a\n}\noutput x\n"
+	mangle := func(s string, seed int) string {
+		b := []byte(s)
+		for i := 0; i < 4; i++ {
+			pos := (seed*31 + i*97) % len(b)
+			b[pos] = "{}()+-*/=x3 \n#"[(seed*13+i*7)%14]
+		}
+		return string(b)
+	}
+	for seed := 0; seed < 200; seed++ {
+		src := mangle(base, seed)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("seed %d panicked on %q: %v", seed, src, r)
+				}
+			}()
+			g, err := Compile("fuzz", src, 16)
+			if err == nil {
+				if verr := g.Validate(); verr != nil {
+					t.Fatalf("seed %d: compiled invalid graph: %v", seed, verr)
+				}
+			}
+		}()
+	}
+}
+
+// TestCompileTruncations feeds every prefix of a valid program.
+func TestCompileTruncations(t *testing.T) {
+	base := "input a, b\nx = a * 3 + b\nloop 2 {\nx = x + a\n}\noutput x\n"
+	for i := 0; i <= len(base); i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("prefix %d panicked: %v", i, r)
+				}
+			}()
+			_, _ = Compile("prefix", base[:i], 16)
+		}()
+	}
+}

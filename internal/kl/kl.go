@@ -1,0 +1,238 @@
+// Package kl implements the Kernighan–Lin graph-bisection heuristic (paper
+// reference [4]) as a baseline partitioner. The paper argues KL's model —
+// minimizing the sum of edge costs cut — is not directly applicable to
+// behavioral partitioning because pin and area requirements are functions of
+// the synthesized structure, not of the cut alone; the baseline exists so
+// that comparison can be demonstrated (examples/autopart and the ablation
+// benchmarks).
+//
+// Edge cost is the transferred bit width. KL freely mixes graph levels, so
+// its bisections may create mutual data dependencies between partitions;
+// ValidateAcyclic reports whether a result is even admissible for CHOP.
+package kl
+
+import (
+	"sort"
+
+	"chop/internal/dfg"
+)
+
+// Assignment maps node ID -> side (0 or 1) for the bisected compute nodes.
+type Assignment map[int]int
+
+// CutBits returns the total bit width of graph edges crossing the
+// assignment (in either direction). Edges touching unassigned nodes (I/O
+// markers) are ignored.
+func CutBits(g *dfg.Graph, a Assignment) int {
+	cut := 0
+	for _, e := range g.Edges {
+		sf, okF := a[e.From]
+		st, okT := a[e.To]
+		if okF && okT && sf != st {
+			cut += e.Width
+		}
+	}
+	return cut
+}
+
+// Bisect partitions the compute (and memory) nodes of g into two halves of
+// equal size (±1) minimizing the cut bits, using the classic KL pass
+// structure: repeated improvement passes of tentative pair swaps, keeping
+// the best prefix of each pass. maxPasses bounds the outer loop (KL
+// converges in a few passes; 10 is generous).
+func Bisect(g *dfg.Graph, maxPasses int) Assignment {
+	var nodes []int
+	for _, n := range g.Nodes {
+		if n.Op.NeedsFU() || n.Op.IsMemory() {
+			nodes = append(nodes, n.ID)
+		}
+	}
+	sort.Ints(nodes)
+	a := make(Assignment, len(nodes))
+	for i, id := range nodes {
+		a[id] = 0
+		if i >= len(nodes)/2 {
+			a[id] = 1
+		}
+	}
+	if maxPasses <= 0 {
+		maxPasses = 10
+	}
+	// adjacency with weights
+	adj := make(map[int]map[int]int)
+	addW := func(u, v, w int) {
+		m := adj[u]
+		if m == nil {
+			m = make(map[int]int)
+			adj[u] = m
+		}
+		m[v] += w
+	}
+	for _, e := range g.Edges {
+		if _, ok := a[e.From]; !ok {
+			continue
+		}
+		if _, ok := a[e.To]; !ok {
+			continue
+		}
+		addW(e.From, e.To, e.Width)
+		addW(e.To, e.From, e.Width)
+	}
+	// D value: external - internal cost of a node under assignment a.
+	dVal := func(id int, a Assignment) int {
+		d := 0
+		for v, w := range adj[id] {
+			if a[v] == a[id] {
+				d -= w
+			} else {
+				d += w
+			}
+		}
+		return d
+	}
+
+	for pass := 0; pass < maxPasses; pass++ {
+		work := make(Assignment, len(a))
+		for k, v := range a {
+			work[k] = v
+		}
+		locked := make(map[int]bool, len(nodes))
+		type swap struct{ u, v, gain int }
+		var swaps []swap
+		half := len(nodes) / 2
+		for step := 0; step < half; step++ {
+			bestU, bestV, bestGain := -1, -1, 0
+			first := true
+			for _, u := range nodes {
+				if locked[u] || work[u] != 0 {
+					continue
+				}
+				du := dVal(u, work)
+				for _, v := range nodes {
+					if locked[v] || work[v] != 1 {
+						continue
+					}
+					gain := du + dVal(v, work) - 2*adj[u][v]
+					if first || gain > bestGain {
+						bestU, bestV, bestGain = u, v, gain
+						first = false
+					}
+				}
+			}
+			if bestU < 0 {
+				break
+			}
+			work[bestU], work[bestV] = 1, 0
+			locked[bestU], locked[bestV] = true, true
+			swaps = append(swaps, swap{bestU, bestV, bestGain})
+		}
+		// Best prefix of cumulative gains.
+		bestK, bestSum, sum := 0, 0, 0
+		for i, s := range swaps {
+			sum += s.gain
+			if sum > bestSum {
+				bestSum, bestK = sum, i+1
+			}
+		}
+		if bestK == 0 {
+			break // no improving prefix: converged
+		}
+		for i := 0; i < bestK; i++ {
+			a[swaps[i].u], a[swaps[i].v] = 1, 0
+		}
+	}
+	return a
+}
+
+// KWay partitions the compute nodes into k parts by recursive bisection and
+// returns the node sets. k must be a power of two for perfectly recursive
+// splits; other k values are handled by splitting the largest part last.
+func KWay(g *dfg.Graph, k, maxPasses int) [][]int {
+	if k < 1 {
+		panic("kl: k must be >= 1")
+	}
+	var all []int
+	for _, n := range g.Nodes {
+		if n.Op.NeedsFU() || n.Op.IsMemory() {
+			all = append(all, n.ID)
+		}
+	}
+	sort.Ints(all)
+	parts := [][]int{all}
+	for len(parts) < k {
+		// Split the largest part.
+		li := 0
+		for i, p := range parts {
+			if len(p) > len(parts[li]) {
+				li = i
+			}
+		}
+		if len(parts[li]) < 2 {
+			break
+		}
+		sub, remap := g.Subgraph("kl-split", parts[li])
+		inv := make(map[int]int, len(remap))
+		for old, nw := range remap {
+			inv[nw] = old
+		}
+		a := Bisect(sub, maxPasses)
+		var left, right []int
+		for nid, side := range a {
+			if side == 0 {
+				left = append(left, inv[nid])
+			} else {
+				right = append(right, inv[nid])
+			}
+		}
+		sort.Ints(left)
+		sort.Ints(right)
+		parts[li] = left
+		parts = append(parts, right)
+	}
+	return parts
+}
+
+// ValidateAcyclic reports whether the partition sets form an acyclic
+// partition dependency graph (CHOP's admissibility requirement). KL ignores
+// direction, so its cuts frequently fail this check — the comparison point
+// the paper makes against flat min-cut partitioning.
+func ValidateAcyclic(g *dfg.Graph, parts [][]int) bool {
+	assign := make(map[int]int)
+	for pi, set := range parts {
+		for _, id := range set {
+			assign[id] = pi
+		}
+	}
+	dep := g.PartitionDAG(assign, len(parts))
+	// Kahn's algorithm over the partition graph.
+	n := len(parts)
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if dep[i][j] {
+				indeg[j]++
+			}
+		}
+	}
+	queue := []int{}
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		seen++
+		for v := 0; v < n; v++ {
+			if dep[u][v] {
+				indeg[v]--
+				if indeg[v] == 0 {
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return seen == n
+}

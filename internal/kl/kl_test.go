@@ -1,0 +1,189 @@
+package kl
+
+import (
+	"testing"
+
+	"chop/internal/dfg"
+)
+
+// twoClusters builds two internally dense 4-cliques joined by one thin edge;
+// the optimal bisection cuts only that edge.
+func twoClusters() *dfg.Graph {
+	g := dfg.New("clusters")
+	mk := func(tag string) []int {
+		ids := make([]int, 4)
+		for i := range ids {
+			ids[i] = g.AddNode(tag+string(rune('0'+i)), dfg.OpAdd, 16)
+		}
+		// chain + skip edges for internal density without cycles
+		g.MustConnect(ids[0], ids[1])
+		g.MustConnect(ids[0], ids[2])
+		g.MustConnect(ids[1], ids[2])
+		g.MustConnect(ids[1], ids[3])
+		g.MustConnect(ids[2], ids[3])
+		return ids
+	}
+	a := mk("a")
+	b := mk("b")
+	g.MustConnect(a[3], b[0]) // the thin bridge
+	return g
+}
+
+func TestBisectFindsClusterCut(t *testing.T) {
+	g := twoClusters()
+	a := Bisect(g, 10)
+	if got := CutBits(g, a); got != 16 {
+		t.Fatalf("cut = %d bits, want 16 (single bridge edge)", got)
+	}
+	// balance: 4 vs 4
+	c := [2]int{}
+	for _, side := range a {
+		c[side]++
+	}
+	if c[0] != 4 || c[1] != 4 {
+		t.Fatalf("unbalanced bisection: %v", c)
+	}
+}
+
+func TestBisectBalancedOnOddCount(t *testing.T) {
+	g := dfg.New("odd")
+	prev := g.AddNode("n0", dfg.OpAdd, 8)
+	for i := 1; i < 7; i++ {
+		id := g.AddNode("n"+string(rune('0'+i)), dfg.OpAdd, 8)
+		g.MustConnect(prev, id)
+		prev = id
+	}
+	a := Bisect(g, 10)
+	c := [2]int{}
+	for _, side := range a {
+		c[side]++
+	}
+	if c[0]+c[1] != 7 || c[0] < 3 || c[1] < 3 {
+		t.Fatalf("balance = %v", c)
+	}
+}
+
+func TestBisectIgnoresIONodes(t *testing.T) {
+	g := dfg.ARLatticeFilter(16)
+	a := Bisect(g, 10)
+	for id := range a {
+		if !g.Nodes[id].Op.NeedsFU() {
+			t.Fatalf("I/O node %d assigned", id)
+		}
+	}
+	if len(a) != 28 {
+		t.Fatalf("assigned %d nodes, want 28", len(a))
+	}
+}
+
+func TestBisectBeatsNaiveSplit(t *testing.T) {
+	// On the AR filter, KL must beat or match a naive first-half/second-half
+	// ID split.
+	g := dfg.ARLatticeFilter(16)
+	var nodes []int
+	for _, n := range g.Nodes {
+		if n.Op.NeedsFU() {
+			nodes = append(nodes, n.ID)
+		}
+	}
+	naive := Assignment{}
+	for i, id := range nodes {
+		naive[id] = 0
+		if i >= len(nodes)/2 {
+			naive[id] = 1
+		}
+	}
+	klCut := CutBits(g, Bisect(g, 10))
+	if klCut > CutBits(g, naive) {
+		t.Fatalf("KL cut %d worse than naive %d", klCut, CutBits(g, naive))
+	}
+}
+
+func TestCutBits(t *testing.T) {
+	g := dfg.New("c")
+	a := g.AddNode("a", dfg.OpAdd, 8)
+	b := g.AddNode("b", dfg.OpAdd, 8)
+	c := g.AddNode("c", dfg.OpAdd, 8)
+	g.MustConnect(a, b)
+	g.MustConnect(b, c)
+	as := Assignment{a: 0, b: 1, c: 0}
+	if got := CutBits(g, as); got != 16 {
+		t.Fatalf("CutBits = %d", got)
+	}
+	if got := CutBits(g, Assignment{a: 0, b: 0, c: 0}); got != 0 {
+		t.Fatalf("CutBits = %d", got)
+	}
+}
+
+func TestKWay(t *testing.T) {
+	g := dfg.ARLatticeFilter(16)
+	for _, k := range []int{1, 2, 3, 4} {
+		parts := KWay(g, k, 10)
+		if len(parts) != k {
+			t.Fatalf("KWay(%d) gave %d parts", k, len(parts))
+		}
+		seen := map[int]bool{}
+		total := 0
+		for _, p := range parts {
+			for _, id := range p {
+				if seen[id] {
+					t.Fatalf("node %d in two parts", id)
+				}
+				seen[id] = true
+				total++
+			}
+		}
+		if total != 28 {
+			t.Fatalf("KWay(%d) covers %d nodes", k, total)
+		}
+	}
+}
+
+func TestKWayPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KWay(0) must panic")
+		}
+	}()
+	KWay(dfg.ARLatticeFilter(16), 0, 1)
+}
+
+func TestValidateAcyclic(t *testing.T) {
+	g := dfg.New("v")
+	a := g.AddNode("a", dfg.OpAdd, 8)
+	b := g.AddNode("b", dfg.OpAdd, 8)
+	c := g.AddNode("c", dfg.OpAdd, 8)
+	g.MustConnect(a, b)
+	g.MustConnect(b, c)
+	if !ValidateAcyclic(g, [][]int{{a}, {b}, {c}}) {
+		t.Fatal("forward chain flagged cyclic")
+	}
+	if ValidateAcyclic(g, [][]int{{a, c}, {b}}) {
+		t.Fatal("mutual dependency not flagged")
+	}
+}
+
+func TestLevelSplitAlwaysAcyclicKLMayNotBe(t *testing.T) {
+	// The structural point of the paper's section 1.1: min-cut ignores
+	// direction. Level partitioning is acyclic by construction; verify
+	// that, and record (not require) whether KL's 2-way cut happens to be
+	// admissible on the AR filter.
+	g := dfg.ARLatticeFilter(16)
+	level := dfg.LevelPartitions(g, 2)
+	if !ValidateAcyclic(g, level) {
+		t.Fatal("level partitioning must be acyclic")
+	}
+	klParts := KWay(g, 2, 10)
+	t.Logf("KL bisection acyclic on AR filter: %v (cut %d bits)",
+		ValidateAcyclic(g, klParts), CutBits(g, toAssignment(klParts)))
+}
+
+func toAssignment(parts [][]int) Assignment {
+	a := Assignment{}
+	for pi, set := range parts {
+		for _, id := range set {
+			a[id] = pi % 2
+		}
+	}
+	return a
+}

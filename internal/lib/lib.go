@@ -1,0 +1,214 @@
+// Package lib implements the component library input of CHOP (paper section
+// 2.2, second input group): a catalog of datapath modules, generally with
+// more than one module per operation type, from which BAD enumerates
+// module-set combinations during prediction.
+//
+// Areas are in square mils and delays in nanoseconds, matching the 3-micron
+// technology of the paper's Table 1.
+package lib
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"chop/internal/dfg"
+)
+
+// Module is one hardware building block.
+type Module struct {
+	Name  string  `json:"name"`
+	Op    dfg.Op  `json:"op"`    // operation type implemented
+	Width int     `json:"width"` // bit width
+	Area  float64 `json:"area"`  // square mils
+	Delay float64 `json:"delay"` // nanoseconds
+	// Power is a per-module power estimate in milliwatts; an extension of
+	// the paper's model (section 5 lists power as future work). Zero means
+	// unknown and is excluded from power totals.
+	Power float64 `json:"power,omitempty"`
+}
+
+// Library is a set of modules plus the 1-bit register and 2:1 multiplexer
+// cells used for storage/steering estimates.
+type Library struct {
+	Name     string   `json:"name"`
+	Modules  []Module `json:"modules"`
+	Register Module   `json:"register"` // 1-bit register cell
+	Mux      Module   `json:"mux"`      // 1-bit 2:1 multiplexer cell
+}
+
+// Validate checks the library for structural problems: duplicate module
+// names, non-positive areas/delays/widths, and missing register/mux cells.
+func (l *Library) Validate() error {
+	if l.Register.Area <= 0 || l.Register.Delay <= 0 {
+		return fmt.Errorf("lib %q: register cell not defined", l.Name)
+	}
+	if l.Mux.Area <= 0 || l.Mux.Delay <= 0 {
+		return fmt.Errorf("lib %q: mux cell not defined", l.Name)
+	}
+	seen := make(map[string]bool, len(l.Modules))
+	for _, m := range l.Modules {
+		if m.Name == "" {
+			return fmt.Errorf("lib %q: module with empty name", l.Name)
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("lib %q: duplicate module %q", l.Name, m.Name)
+		}
+		seen[m.Name] = true
+		if m.Area <= 0 || m.Delay <= 0 || m.Width <= 0 {
+			return fmt.Errorf("lib %q: module %q has non-positive area/delay/width", l.Name, m.Name)
+		}
+		if !m.Op.NeedsFU() {
+			return fmt.Errorf("lib %q: module %q implements non-FU op %q", l.Name, m.Name, m.Op)
+		}
+	}
+	return nil
+}
+
+// ModulesFor returns the modules implementing op, fastest first.
+func (l *Library) ModulesFor(op dfg.Op) []Module {
+	var out []Module
+	for _, m := range l.Modules {
+		if m.Op == op {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Delay < out[j].Delay })
+	return out
+}
+
+// ModuleSet is one choice of module per operation type, the unit over which
+// BAD enumerates (paper section 2: "includes all possible module-set
+// combinations").
+type ModuleSet map[dfg.Op]Module
+
+// ID returns a stable identifier for the set, e.g. "add2+mul3".
+func (s ModuleSet) ID() string {
+	names := make([]string, 0, len(s))
+	for _, m := range s {
+		names = append(names, m.Name)
+	}
+	sort.Strings(names)
+	id := ""
+	for i, n := range names {
+		if i > 0 {
+			id += "+"
+		}
+		id += n
+	}
+	return id
+}
+
+// MaxDelay returns the slowest module delay in the set.
+func (s ModuleSet) MaxDelay() float64 {
+	var d float64
+	for _, m := range s {
+		if m.Delay > d {
+			d = m.Delay
+		}
+	}
+	return d
+}
+
+// EnumerateSets returns every combination of one module per required op, in
+// a deterministic order. It returns an error if any op has no implementing
+// module.
+func (l *Library) EnumerateSets(ops []dfg.Op) ([]ModuleSet, error) {
+	uniq := make([]dfg.Op, 0, len(ops))
+	seen := make(map[dfg.Op]bool)
+	for _, op := range ops {
+		if !op.NeedsFU() || seen[op] {
+			continue
+		}
+		seen[op] = true
+		uniq = append(uniq, op)
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+
+	choices := make([][]Module, len(uniq))
+	for i, op := range uniq {
+		ms := l.ModulesFor(op)
+		if len(ms) == 0 {
+			return nil, fmt.Errorf("lib %q: no module implements op %q", l.Name, op)
+		}
+		choices[i] = ms
+	}
+	var sets []ModuleSet
+	idx := make([]int, len(uniq))
+	for {
+		set := make(ModuleSet, len(uniq))
+		for i, op := range uniq {
+			set[op] = choices[i][idx[i]]
+		}
+		sets = append(sets, set)
+		// odometer increment
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(choices[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return sets, nil
+}
+
+// MarshalJSON / load helpers -------------------------------------------------
+
+// ToJSON serializes the library with indentation, suitable for on-disk
+// library files consumed by cmd/chop.
+func (l *Library) ToJSON() ([]byte, error) { return json.MarshalIndent(l, "", "  ") }
+
+// FromJSON parses and validates a library file.
+func FromJSON(data []byte) (*Library, error) {
+	var l Library
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("lib: parse: %w", err)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}
+
+// Table1Library returns the paper's Table 1 design library: a 3-micron
+// technology with three adders, three multipliers, a 1-bit register cell and
+// a 1-bit 2:1 multiplexer cell. Power numbers are an extension, scaled
+// roughly with area/delay (faster, bigger modules burn more).
+func Table1Library() *Library {
+	return &Library{
+		Name: "paper-table-1",
+		Modules: []Module{
+			{Name: "add1", Op: dfg.OpAdd, Width: 16, Area: 4200, Delay: 34, Power: 12},
+			{Name: "add2", Op: dfg.OpAdd, Width: 16, Area: 2880, Delay: 53, Power: 8},
+			{Name: "add3", Op: dfg.OpAdd, Width: 16, Area: 1200, Delay: 151, Power: 3},
+			{Name: "mul1", Op: dfg.OpMul, Width: 16, Area: 49000, Delay: 375, Power: 110},
+			{Name: "mul2", Op: dfg.OpMul, Width: 16, Area: 9800, Delay: 2950, Power: 25},
+			{Name: "mul3", Op: dfg.OpMul, Width: 16, Area: 7100, Delay: 7370, Power: 15},
+		},
+		Register: Module{Name: "register", Width: 1, Area: 31, Delay: 5, Power: 0.1},
+		Mux:      Module{Name: "mux", Width: 1, Area: 18, Delay: 4, Power: 0.05},
+	}
+}
+
+// ExtendedLibrary returns Table 1 plus subtractor, divider and comparator
+// entries so that the mixed-op benchmarks (DiffEq) can be synthesized. The
+// extra entries reuse adder-class geometry (a subtractor is an adder plus
+// inverters; a comparator is a stripped subtractor), which keeps them
+// consistent with the 3-micron technology.
+func ExtendedLibrary() *Library {
+	l := Table1Library()
+	l.Name = "extended-3u"
+	l.Modules = append(l.Modules,
+		Module{Name: "sub1", Op: dfg.OpSub, Width: 16, Area: 4400, Delay: 36, Power: 12},
+		Module{Name: "sub2", Op: dfg.OpSub, Width: 16, Area: 3000, Delay: 56, Power: 8},
+		Module{Name: "div1", Op: dfg.OpDiv, Width: 16, Area: 52000, Delay: 4100, Power: 90},
+		Module{Name: "cmp1", Op: dfg.OpCmp, Width: 16, Area: 980, Delay: 30, Power: 2},
+		Module{Name: "cmp2", Op: dfg.OpCmp, Width: 16, Area: 540, Delay: 88, Power: 1},
+	)
+	return l
+}

@@ -1,0 +1,196 @@
+package lib
+
+import (
+	"testing"
+
+	"chop/internal/dfg"
+)
+
+func TestTable1LibraryValid(t *testing.T) {
+	l := Table1Library()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Modules) != 6 {
+		t.Fatalf("Table 1 has %d modules, want 6", len(l.Modules))
+	}
+	// spot check exact Table 1 values
+	adds := l.ModulesFor(dfg.OpAdd)
+	if len(adds) != 3 || adds[0].Name != "add1" || adds[0].Delay != 34 || adds[0].Area != 4200 {
+		t.Fatalf("adders = %+v", adds)
+	}
+	muls := l.ModulesFor(dfg.OpMul)
+	if len(muls) != 3 || muls[2].Name != "mul3" || muls[2].Delay != 7370 || muls[2].Area != 7100 {
+		t.Fatalf("multipliers = %+v", muls)
+	}
+	if l.Register.Area != 31 || l.Register.Delay != 5 {
+		t.Fatalf("register = %+v", l.Register)
+	}
+	if l.Mux.Area != 18 || l.Mux.Delay != 4 {
+		t.Fatalf("mux = %+v", l.Mux)
+	}
+}
+
+func TestModulesForSortedByDelay(t *testing.T) {
+	l := Table1Library()
+	for _, op := range []dfg.Op{dfg.OpAdd, dfg.OpMul} {
+		ms := l.ModulesFor(op)
+		for i := 1; i < len(ms); i++ {
+			if ms[i-1].Delay > ms[i].Delay {
+				t.Fatalf("%s modules not sorted: %v", op, ms)
+			}
+		}
+	}
+}
+
+func TestModulesForUnknownOp(t *testing.T) {
+	if ms := Table1Library().ModulesFor(dfg.OpDiv); ms != nil {
+		t.Fatalf("expected no dividers in Table 1, got %v", ms)
+	}
+}
+
+func TestEnumerateSetsCount(t *testing.T) {
+	l := Table1Library()
+	sets, err := l.EnumerateSets([]dfg.Op{dfg.OpAdd, dfg.OpMul})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 9 {
+		t.Fatalf("3 adders x 3 multipliers should give 9 sets, got %d", len(sets))
+	}
+	ids := map[string]bool{}
+	for _, s := range sets {
+		if len(s) != 2 {
+			t.Fatalf("set %v has %d entries", s.ID(), len(s))
+		}
+		if ids[s.ID()] {
+			t.Fatalf("duplicate set %s", s.ID())
+		}
+		ids[s.ID()] = true
+	}
+	if !ids["add2+mul3"] {
+		t.Fatal("expected set add2+mul3 to be enumerated")
+	}
+}
+
+func TestEnumerateSetsDeduplicatesOps(t *testing.T) {
+	l := Table1Library()
+	sets, err := l.EnumerateSets([]dfg.Op{dfg.OpAdd, dfg.OpAdd, dfg.OpMul, dfg.OpInput})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 9 {
+		t.Fatalf("duplicate/IO ops must not change the enumeration: %d", len(sets))
+	}
+}
+
+func TestEnumerateSetsSingleOp(t *testing.T) {
+	l := Table1Library()
+	sets, err := l.EnumerateSets([]dfg.Op{dfg.OpMul})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 3 {
+		t.Fatalf("got %d sets", len(sets))
+	}
+}
+
+func TestEnumerateSetsMissingOp(t *testing.T) {
+	l := Table1Library()
+	if _, err := l.EnumerateSets([]dfg.Op{dfg.OpDiv}); err == nil {
+		t.Fatal("missing op must be an error")
+	}
+}
+
+func TestModuleSetID(t *testing.T) {
+	l := Table1Library()
+	set := ModuleSet{
+		dfg.OpMul: l.ModulesFor(dfg.OpMul)[2],
+		dfg.OpAdd: l.ModulesFor(dfg.OpAdd)[1],
+	}
+	if set.ID() != "add2+mul3" {
+		t.Fatalf("ID = %q", set.ID())
+	}
+	if set.MaxDelay() != 7370 {
+		t.Fatalf("MaxDelay = %v", set.MaxDelay())
+	}
+}
+
+func TestValidateRejectsBadLibraries(t *testing.T) {
+	l := Table1Library()
+	l.Modules[0].Area = -1
+	if err := l.Validate(); err == nil {
+		t.Fatal("negative area accepted")
+	}
+
+	l2 := Table1Library()
+	l2.Modules[1].Name = l2.Modules[0].Name
+	if err := l2.Validate(); err == nil {
+		t.Fatal("duplicate module name accepted")
+	}
+
+	l3 := Table1Library()
+	l3.Register.Area = 0
+	if err := l3.Validate(); err == nil {
+		t.Fatal("missing register cell accepted")
+	}
+
+	l4 := Table1Library()
+	l4.Modules[0].Op = dfg.OpInput
+	if err := l4.Validate(); err == nil {
+		t.Fatal("module implementing IO op accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := Table1Library()
+	data, err := l.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != l.Name || len(back.Modules) != len(l.Modules) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Modules[4].Delay != 2950 {
+		t.Fatalf("mul2 delay lost: %+v", back.Modules[4])
+	}
+}
+
+func TestFromJSONRejectsInvalid(t *testing.T) {
+	if _, err := FromJSON([]byte("{")); err == nil {
+		t.Fatal("syntax error accepted")
+	}
+	if _, err := FromJSON([]byte(`{"name":"x","modules":[],"register":{"area":0},"mux":{"area":0}}`)); err == nil {
+		t.Fatal("semantically invalid library accepted")
+	}
+}
+
+func TestExtendedLibrary(t *testing.T) {
+	l := ExtendedLibrary()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []dfg.Op{dfg.OpSub, dfg.OpDiv, dfg.OpCmp} {
+		if len(l.ModulesFor(op)) == 0 {
+			t.Errorf("extended library missing op %s", op)
+		}
+	}
+	// Extended library must still solve DiffEq's op requirements.
+	g := dfg.DiffEq(16)
+	var ops []dfg.Op
+	for op := range g.OpCounts() {
+		ops = append(ops, op)
+	}
+	sets, err := l.EnumerateSets(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// add:3 x sub:2 x mul:3 x cmp:2 = 36
+	if len(sets) != 36 {
+		t.Fatalf("DiffEq sets = %d, want 36", len(sets))
+	}
+}

@@ -1,0 +1,157 @@
+// Package mem models the memory input of CHOP (paper section 2.2, fourth
+// input group): on- and off-chip memory modules, their assignment to chips,
+// and the memory bandwidth bookkeeping used during system integration. The
+// paper assumes the memory hierarchy is designed before partitioning; CHOP
+// only checks that the predicted accesses keep every block's bandwidth
+// feasible and reserves pins for off-chip memory traffic (Select and R/W
+// lines are not shared; paper section 2.4).
+package mem
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Block is one memory module.
+type Block struct {
+	Name  string `json:"name"`
+	Words int    `json:"words"`
+	Width int    `json:"width"` // data width in bits
+	Ports int    `json:"ports"` // simultaneous accesses per cycle
+	// AccessTime is the read/write cycle time in nanoseconds.
+	AccessTime float64 `json:"accessTime"`
+	// Area is the silicon area in square mils when the block is placed on a
+	// chip; zero (with OffChip true) for off-the-shelf memory chips.
+	Area float64 `json:"area"`
+	// OffChip marks an off-the-shelf memory chip: it consumes no project
+	// area on any chip in the set, but all its traffic crosses chip pins.
+	OffChip bool `json:"offChip"`
+	// ControlPins is the number of unshared control pins (Select, R/W, ...)
+	// a chip must reserve to talk to this block when the traffic crosses
+	// the chip boundary.
+	ControlPins int `json:"controlPins"`
+}
+
+// Validate checks the block's parameters.
+func (b Block) Validate() error {
+	if b.Name == "" {
+		return fmt.Errorf("mem: block with empty name")
+	}
+	if b.Words <= 0 || b.Width <= 0 {
+		return fmt.Errorf("mem %q: non-positive geometry", b.Name)
+	}
+	if b.Ports <= 0 {
+		return fmt.Errorf("mem %q: non-positive port count", b.Name)
+	}
+	if b.AccessTime <= 0 {
+		return fmt.Errorf("mem %q: non-positive access time", b.Name)
+	}
+	if !b.OffChip && b.Area <= 0 {
+		return fmt.Errorf("mem %q: on-chip block needs a positive area", b.Name)
+	}
+	if b.ControlPins < 0 {
+		return fmt.Errorf("mem %q: negative control pins", b.Name)
+	}
+	return nil
+}
+
+// Bits returns the total capacity in bits.
+func (b Block) Bits() int { return b.Words * b.Width }
+
+// BandwidthPerCycle returns how many bits the block can move per clock cycle
+// of the given period: ports * width * floor(cycle/accessTime), at least one
+// access per cycle when the access time fits the cycle, zero otherwise.
+func (b Block) BandwidthPerCycle(cycle float64) int {
+	if cycle < b.AccessTime {
+		return 0
+	}
+	accesses := int(math.Floor(cycle / b.AccessTime))
+	return b.Ports * b.Width * accesses
+}
+
+// DataPins returns the number of chip pins one off-chip access path to this
+// block occupies: the data bus plus address lines plus unshared control.
+func (b Block) DataPins() int {
+	addr := 0
+	for w := b.Words; w > 1; w = (w + 1) / 2 {
+		addr++
+	}
+	return b.Width + addr + b.ControlPins
+}
+
+// Assignment maps memory block names to chip indices. Blocks absent from
+// the map are off-the-shelf parts living outside the chip set (every access
+// is off-chip for every chip).
+type Assignment map[string]int
+
+// System is the set of memory blocks plus their chip assignment.
+type System struct {
+	Blocks []Block    `json:"blocks"`
+	Assign Assignment `json:"assign"`
+}
+
+// Validate checks blocks and that assignments reference existing blocks and
+// valid chip indices.
+func (s System) Validate(numChips int) error {
+	byName := make(map[string]bool, len(s.Blocks))
+	for _, b := range s.Blocks {
+		if err := b.Validate(); err != nil {
+			return err
+		}
+		if byName[b.Name] {
+			return fmt.Errorf("mem: duplicate block %q", b.Name)
+		}
+		byName[b.Name] = true
+	}
+	for name, ci := range s.Assign {
+		if !byName[name] {
+			return fmt.Errorf("mem: assignment references unknown block %q", name)
+		}
+		if ci < 0 || ci >= numChips {
+			return fmt.Errorf("mem: block %q assigned to chip %d of %d", name, ci, numChips)
+		}
+	}
+	return nil
+}
+
+// Block returns the named block, or false.
+func (s System) Block(name string) (Block, bool) {
+	for _, b := range s.Blocks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Block{}, false
+}
+
+// OnChip reports whether accesses from the given chip to the named block
+// stay on-chip (no pins consumed).
+func (s System) OnChip(name string, chipIdx int) bool {
+	ci, ok := s.Assign[name]
+	return ok && ci == chipIdx
+}
+
+// AreaOn returns the memory area placed on the given chip.
+func (s System) AreaOn(chipIdx int) float64 {
+	var a float64
+	for _, b := range s.Blocks {
+		if ci, ok := s.Assign[b.Name]; ok && ci == chipIdx && !b.OffChip {
+			a += b.Area
+		}
+	}
+	return a
+}
+
+// ToJSON serializes the memory system.
+func (s System) ToJSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// FromJSON parses a memory system; Validate must be called separately since
+// the chip count is not known here.
+func FromJSON(data []byte) (System, error) {
+	var s System
+	if err := json.Unmarshal(data, &s); err != nil {
+		return System{}, fmt.Errorf("mem: parse: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,136 @@
+package mem
+
+import "testing"
+
+func ram() Block {
+	return Block{Name: "MA", Words: 1024, Width: 16, Ports: 1, AccessTime: 100, Area: 20000, ControlPins: 2}
+}
+
+func TestBlockValidate(t *testing.T) {
+	if err := ram().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Block){
+		func(b *Block) { b.Name = "" },
+		func(b *Block) { b.Words = 0 },
+		func(b *Block) { b.Width = 0 },
+		func(b *Block) { b.Ports = 0 },
+		func(b *Block) { b.AccessTime = 0 },
+		func(b *Block) { b.Area = 0 }, // on-chip with no area
+		func(b *Block) { b.ControlPins = -1 },
+	}
+	for i, mut := range cases {
+		b := ram()
+		mut(&b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: invalid block accepted: %+v", i, b)
+		}
+	}
+	off := ram()
+	off.OffChip = true
+	off.Area = 0
+	if err := off.Validate(); err != nil {
+		t.Fatalf("off-chip block with zero area rejected: %v", err)
+	}
+}
+
+func TestBits(t *testing.T) {
+	if got := ram().Bits(); got != 1024*16 {
+		t.Fatalf("Bits = %d", got)
+	}
+}
+
+func TestBandwidthPerCycle(t *testing.T) {
+	b := ram() // 100ns access, 16 bits, 1 port
+	if got := b.BandwidthPerCycle(50); got != 0 {
+		t.Fatalf("cycle < access must give 0, got %d", got)
+	}
+	if got := b.BandwidthPerCycle(100); got != 16 {
+		t.Fatalf("one access per cycle: %d", got)
+	}
+	if got := b.BandwidthPerCycle(300); got != 48 {
+		t.Fatalf("three accesses per cycle: %d", got)
+	}
+	b.Ports = 2
+	if got := b.BandwidthPerCycle(100); got != 32 {
+		t.Fatalf("dual port: %d", got)
+	}
+}
+
+func TestDataPins(t *testing.T) {
+	b := ram() // 1024 words -> 10 address bits, 16 data, 2 control
+	if got := b.DataPins(); got != 28 {
+		t.Fatalf("DataPins = %d, want 28", got)
+	}
+	b.Words = 1
+	if got := b.DataPins(); got != 18 {
+		t.Fatalf("single word needs no address bits: %d", got)
+	}
+}
+
+func TestSystemValidate(t *testing.T) {
+	s := System{Blocks: []Block{ram()}, Assign: Assignment{"MA": 0}}
+	if err := s.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	bad := System{Blocks: []Block{ram()}, Assign: Assignment{"MB": 0}}
+	if err := bad.Validate(2); err == nil {
+		t.Fatal("unknown block assignment accepted")
+	}
+	bad2 := System{Blocks: []Block{ram()}, Assign: Assignment{"MA": 5}}
+	if err := bad2.Validate(2); err == nil {
+		t.Fatal("out-of-range chip accepted")
+	}
+	dup := System{Blocks: []Block{ram(), ram()}}
+	if err := dup.Validate(1); err == nil {
+		t.Fatal("duplicate block accepted")
+	}
+}
+
+func TestSystemLookups(t *testing.T) {
+	s := System{Blocks: []Block{ram()}, Assign: Assignment{"MA": 1}}
+	if _, ok := s.Block("MA"); !ok {
+		t.Fatal("Block lookup failed")
+	}
+	if _, ok := s.Block("nope"); ok {
+		t.Fatal("phantom block found")
+	}
+	if !s.OnChip("MA", 1) || s.OnChip("MA", 0) {
+		t.Fatal("OnChip wrong")
+	}
+	if s.OnChip("unassigned", 0) {
+		t.Fatal("unassigned block reported on-chip")
+	}
+}
+
+func TestAreaOn(t *testing.T) {
+	b2 := ram()
+	b2.Name = "MB"
+	b2.OffChip = true
+	b2.Area = 0
+	s := System{Blocks: []Block{ram(), b2}, Assign: Assignment{"MA": 0, "MB": 0}}
+	if got := s.AreaOn(0); got != 20000 {
+		t.Fatalf("AreaOn(0) = %v (off-chip block must not count)", got)
+	}
+	if got := s.AreaOn(1); got != 0 {
+		t.Fatalf("AreaOn(1) = %v", got)
+	}
+}
+
+func TestSystemJSON(t *testing.T) {
+	s := System{Blocks: []Block{ram()}, Assign: Assignment{"MA": 0}}
+	data, err := s.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Blocks) != 1 || back.Assign["MA"] != 0 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if _, err := FromJSON([]byte("{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,542 @@
+// Package rtl synthesizes a predicted partition implementation down to a
+// structural register-transfer netlist: functional-unit binding, register
+// binding (left-edge algorithm) and multiplexer generation, plus a
+// cycle-indexed control table. The paper lists "synthesize and layout some
+// partitioned designs" as the immediate future task (section 5); this
+// package provides that synthesis step and lets the test suite check BAD's
+// predictions against actual bound netlists, reproducing the paper's claim
+// that the predictions "have been very accurate".
+package rtl
+
+import (
+	"fmt"
+	"sort"
+
+	"chop/internal/bad"
+	"chop/internal/dfg"
+	"chop/internal/lib"
+	"chop/internal/sched"
+)
+
+// FU is one bound functional-unit instance.
+type FU struct {
+	Name   string
+	Module lib.Module
+	// Ops lists the node IDs executed on this instance, by start cycle.
+	Ops []int
+}
+
+// Register is one bound storage element.
+type Register struct {
+	Name  string
+	Width int
+	// Values lists the node IDs whose results live in this register
+	// (time-multiplexed, non-overlapping lifetimes).
+	Values []int
+}
+
+// MuxTree is the steering in front of one FU input port or register input.
+type MuxTree struct {
+	Name string
+	// Dest describes the consumer ("fu3.a" or "r2").
+	Dest string
+	// Sources lists the register/input names selectable at this port.
+	Sources []string
+	// Count1Bit is the number of 1-bit 2:1 mux cells: (len(Sources)-1) * width.
+	Count1Bit int
+}
+
+// Step is one control-table row: what fires in one datapath cycle.
+type Step struct {
+	Cycle int
+	// Fire maps FU name -> node ID started this cycle (-1 none).
+	Fire map[string]int
+	// Load maps register name -> node ID whose value is latched this cycle.
+	Load map[string]int
+	// Shift maps destination register -> source register for the shift
+	// chains that carry pipeline-resident values (lifetimes longer than
+	// one initiation interval) across overlapped samples. Shifts use the
+	// pre-cycle register contents and complete before loads.
+	Shift map[string]string
+}
+
+// Netlist is the synthesized structure of one partition implementation.
+type Netlist struct {
+	Name  string
+	Width int
+	FUs   []FU
+	Regs  []Register
+	Muxes []MuxTree
+	// Control is the cycle-indexed control table (the PLA contents).
+	Control []Step
+	// Latency is the schedule length in datapath cycles; II the initiation
+	// interval used for binding (== Latency for non-pipelined designs).
+	Latency, II int
+	// binding details kept for simulation and checks
+	fuOf  map[int]string // node ID -> FU name
+	regOf map[int]string // producing node ID (or input node) -> register name
+	// operandReg overrides the register a consumer reads for one operand:
+	// consumers of chained (pipeline-resident) values read a chain position
+	// that depends on their own start cycle.
+	operandReg map[[2]int]string // {consumer ID, operand position} -> register
+	// chains records the shift chains for control-table generation.
+	chains []chainSpec
+}
+
+// chainSpec is one shift chain carrying a pipeline-resident value.
+type chainSpec struct {
+	id    int      // producing node
+	birth int      // cycle the value enters regs[0]
+	regs  []string // chain positions, oldest value furthest along
+}
+
+// FUOf returns the name of the FU executing node id ("" for I/O nodes).
+func (n *Netlist) FUOf(id int) string { return n.fuOf[id] }
+
+// RegOf returns the register holding the value of node id (position 0 of
+// its chain for pipeline-resident values).
+func (n *Netlist) RegOf(id int) string { return n.regOf[id] }
+
+// OperandReg returns the register consumer `id` reads for its operand at
+// position pos (whose producer is prod): the chain position matching the
+// consumer's start cycle for chained values, the producer's register
+// otherwise.
+func (n *Netlist) OperandReg(id, pos, prod int) string {
+	if r, ok := n.operandReg[[2]int{id, pos}]; ok {
+		return r
+	}
+	return n.regOf[prod]
+}
+
+// RegisterBits returns the total storage bits of the netlist.
+func (n *Netlist) RegisterBits() int {
+	bits := 0
+	for _, r := range n.Regs {
+		bits += r.Width
+	}
+	return bits
+}
+
+// Mux1Bit returns the total 1-bit mux cell count.
+func (n *Netlist) Mux1Bit() int {
+	c := 0
+	for _, m := range n.Muxes {
+		c += m.Count1Bit
+	}
+	return c
+}
+
+// CellArea returns the bound cell area (FUs + registers + muxes) under the
+// given library, comparable against the corresponding BAD components.
+func (n *Netlist) CellArea(l *lib.Library) float64 {
+	var a float64
+	for _, fu := range n.FUs {
+		a += fu.Module.Area
+	}
+	a += float64(n.RegisterBits()) * l.Register.Area
+	a += float64(n.Mux1Bit()) * l.Mux.Area
+	return a
+}
+
+// Bind synthesizes the netlist for one predicted design of graph g. cyc
+// gives each operation's duration in datapath cycles (derived from the
+// module set and clock configuration exactly as BAD derived it; see
+// OpCyclesFor). Bind reproduces the design's schedule, binds FUs first-fit
+// (modulo the initiation interval for pipelined designs), binds registers
+// with the left-edge algorithm, generates the steering muxes and emits the
+// control table.
+func Bind(g *dfg.Graph, d bad.Design, l *lib.Library, cyc func(dfg.Node) int) (*Netlist, error) {
+	prob := sched.Problem{G: g, Cycles: cyc, Limit: d.FUs}
+	var res sched.Result
+	ii := d.II
+	if d.Style == bad.Pipelined {
+		r, ok, err := sched.PipelinedSchedule(prob, ii)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("rtl: design's modulo schedule not reproducible at II=%d", ii)
+		}
+		res = r
+	} else {
+		r, err := sched.ListSchedule(prob)
+		if err != nil {
+			return nil, err
+		}
+		res = r
+		ii = r.Latency
+		if ii < 1 {
+			ii = 1
+		}
+	}
+	return bindSchedule(g, d, l, prob, res, ii)
+}
+
+func bindSchedule(g *dfg.Graph, d bad.Design, l *lib.Library, prob sched.Problem, res sched.Result, ii int) (*Netlist, error) {
+	n := &Netlist{
+		Name:    g.Name,
+		Latency: res.Latency,
+		II:      ii,
+		fuOf:    map[int]string{},
+		regOf:   map[int]string{},
+	}
+	for _, nd := range g.Nodes {
+		if nd.Width > n.Width {
+			n.Width = nd.Width
+		}
+	}
+
+	dur := func(id int) int {
+		nd := g.Nodes[id]
+		if !nd.Op.NeedsFU() {
+			return 0
+		}
+		c := prob.Cycles(nd)
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+
+	// ---- FU binding: first-fit on instances, modulo II for pipelined ----
+	byOp := map[dfg.Op][]int{}
+	for _, nd := range g.Nodes {
+		if nd.Op.NeedsFU() {
+			byOp[nd.Op] = append(byOp[nd.Op], nd.ID)
+		}
+	}
+	ops := make([]dfg.Op, 0, len(byOp))
+	for op := range byOp {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		ids := byOp[op]
+		sort.Slice(ids, func(i, j int) bool {
+			if res.Start[ids[i]] != res.Start[ids[j]] {
+				return res.Start[ids[i]] < res.Start[ids[j]]
+			}
+			return ids[i] < ids[j]
+		})
+		count := d.FUs[op]
+		if count <= 0 {
+			count = len(ids)
+		}
+		mod, ok := d.ModuleSet[op]
+		if !ok {
+			return nil, fmt.Errorf("rtl: design has no module for op %q", op)
+		}
+		instances := make([]FU, count)
+		busy := make([][]bool, count) // instance -> slot (mod ii) occupancy
+		for i := range instances {
+			instances[i] = FU{Name: fmt.Sprintf("%s%d", op, i+1), Module: mod}
+			busy[i] = make([]bool, ii)
+		}
+		place := func(id, i int) bool {
+			for k := 0; k < dur(id); k++ {
+				if busy[i][(res.Start[id]+k)%ii] {
+					return false
+				}
+			}
+			for k := 0; k < dur(id); k++ {
+				busy[i][(res.Start[id]+k)%ii] = true
+			}
+			instances[i].Ops = append(instances[i].Ops, id)
+			n.fuOf[id] = instances[i].Name
+			return true
+		}
+		for _, id := range ids {
+			placed := false
+			// The modulo scheduler records a realizable instance per op;
+			// reuse it (first-fit alone cannot always pack circular
+			// intervals). Fall back to first-fit for plain schedules.
+			if res.Instance != nil && res.Instance[id] >= 0 && res.Instance[id] < count {
+				placed = place(id, res.Instance[id])
+			}
+			for i := 0; i < count && !placed; i++ {
+				placed = place(id, i)
+			}
+			if !placed {
+				return nil, fmt.Errorf("rtl: cannot bind %s onto %d %s instance(s)",
+					g.Nodes[id].Name, count, op)
+			}
+		}
+		n.FUs = append(n.FUs, instances...)
+	}
+
+	// ---- register binding: left-edge over value lifetimes ----
+	type life struct{ id, birth, death, width int }
+	var lives []life
+	for _, nd := range g.Nodes {
+		if nd.Op == dfg.OpOutput {
+			continue
+		}
+		birth := 0
+		if nd.Op.NeedsFU() {
+			birth = res.Start[nd.ID] + dur(nd.ID)
+		}
+		death := birth
+		for _, su := range g.Succs(nd.ID) {
+			s := res.Start[su]
+			if g.Nodes[su].Op == dfg.OpOutput {
+				s = birth
+			}
+			if s > death {
+				death = s
+			}
+		}
+		lives = append(lives, life{nd.ID, birth, death, nd.Width})
+	}
+	sort.Slice(lives, func(i, j int) bool {
+		if lives[i].birth != lives[j].birth {
+			return lives[i].birth < lives[j].birth
+		}
+		return lives[i].id < lives[j].id
+	})
+	// Register sharing must respect the folded schedule: in a pipelined
+	// design, sample k+1 reuses every register ii cycles after sample k, so
+	// two values may share a register only if their lifetimes are disjoint
+	// *modulo ii*. A pipeline-resident value (lifetime longer than one
+	// interval) has several live copies at once and becomes a shift chain:
+	// ceil(L/ii) dedicated registers, the value advancing one position
+	// every ii cycles; each consumer reads the chain position matching its
+	// own start cycle. (For non-pipelined designs ii == latency, so no
+	// value ever needs a chain and the modulo check coincides with plain
+	// interval disjointness.)
+	n.operandReg = map[[2]int]string{}
+	var regs []regState
+	newReg := func(width int, id int, busyAll bool, slots []int) string {
+		name := fmt.Sprintf("r%d", len(regs)+1)
+		rs := regState{
+			reg:  Register{Name: name, Width: width, Values: []int{id}},
+			busy: make([]bool, ii),
+		}
+		if busyAll {
+			for s := range rs.busy {
+				rs.busy[s] = true
+			}
+		}
+		for _, s := range slots {
+			rs.busy[s] = true
+		}
+		regs = append(regs, rs)
+		return name
+	}
+	consumersAt := func(id int) [][2]int { // {consumer, operand position}
+		var out [][2]int
+		for _, su := range g.Succs(id) {
+			if g.Nodes[su].Op == dfg.OpOutput {
+				continue
+			}
+			for pos, pr := range g.Preds(su) {
+				if pr == id {
+					out = append(out, [2]int{su, pos})
+				}
+			}
+		}
+		return out
+	}
+	for _, lf := range lives {
+		span := lf.death - lf.birth
+		if span+1 > ii {
+			// Shift chain for a pipeline-resident value.
+			m := (span + ii) / ii // ceil((span+1)/ii)
+			chain := make([]string, m)
+			for j := range chain {
+				chain[j] = newReg(lf.width, lf.id, true, nil)
+			}
+			n.regOf[lf.id] = chain[0]
+			n.chains = append(n.chains, chainSpec{id: lf.id, birth: lf.birth, regs: chain})
+			for _, c := range consumersAt(lf.id) {
+				j := (res.Start[c[0]] - lf.birth) / ii
+				if j < 0 {
+					j = 0
+				}
+				if j >= m {
+					j = m - 1
+				}
+				n.operandReg[c] = chain[j]
+			}
+			continue
+		}
+		slots := make([]int, 0, span+1)
+		for k := 0; k <= span; k++ {
+			slots = append(slots, (lf.birth+k)%ii)
+		}
+		placed := false
+		for i := range regs {
+			if regs[i].reg.Width != lf.width {
+				continue
+			}
+			free := true
+			for _, sl := range slots {
+				if regs[i].busy[sl] {
+					free = false
+					break
+				}
+			}
+			if free {
+				for _, sl := range slots {
+					regs[i].busy[sl] = true
+				}
+				regs[i].reg.Values = append(regs[i].reg.Values, lf.id)
+				n.regOf[lf.id] = regs[i].reg.Name
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			n.regOf[lf.id] = newReg(lf.width, lf.id, false, slots)
+		}
+	}
+	for _, rs := range regs {
+		n.Regs = append(n.Regs, rs.reg)
+	}
+
+	// ---- mux generation ----
+	// FU input ports: distinct source registers per port.
+	for _, fu := range n.FUs {
+		ports := 2
+		srcs := make([]map[string]bool, ports)
+		for p := range srcs {
+			srcs[p] = map[string]bool{}
+		}
+		for _, id := range fu.Ops {
+			preds := g.Preds(id)
+			for p := 0; p < ports && p < len(preds); p++ {
+				srcs[p][n.OperandReg(id, p, preds[p])] = true
+			}
+		}
+		for p := 0; p < ports; p++ {
+			if len(srcs[p]) <= 1 {
+				continue
+			}
+			var names []string
+			for s := range srcs[p] {
+				names = append(names, s)
+			}
+			sort.Strings(names)
+			n.Muxes = append(n.Muxes, MuxTree{
+				Name:      fmt.Sprintf("mux_%s_p%d", fu.Name, p),
+				Dest:      fmt.Sprintf("%s.p%d", fu.Name, p),
+				Sources:   names,
+				Count1Bit: (len(names) - 1) * n.Width,
+			})
+		}
+	}
+	// Register inputs: distinct producing FUs per register.
+	for _, r := range n.Regs {
+		srcs := map[string]bool{}
+		for _, id := range r.Values {
+			if fu := n.fuOf[id]; fu != "" {
+				srcs[fu] = true
+			} else {
+				srcs["extin"] = true
+			}
+		}
+		if len(srcs) <= 1 {
+			continue
+		}
+		var names []string
+		for s := range srcs {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+		n.Muxes = append(n.Muxes, MuxTree{
+			Name:      "mux_" + r.Name,
+			Dest:      r.Name,
+			Sources:   names,
+			Count1Bit: (len(names) - 1) * r.Width,
+		})
+	}
+
+	// ---- control table ----
+	for c := 0; c <= res.Latency; c++ {
+		step := Step{Cycle: c, Fire: map[string]int{}, Load: map[string]int{}}
+		for _, ch := range n.chains {
+			for j := 1; j < len(ch.regs); j++ {
+				if ch.birth+j*ii == c {
+					if step.Shift == nil {
+						step.Shift = map[string]string{}
+					}
+					step.Shift[ch.regs[j]] = ch.regs[j-1]
+				}
+			}
+		}
+		for _, nd := range g.Nodes {
+			if nd.Op.NeedsFU() && res.Start[nd.ID] == c {
+				step.Fire[n.fuOf[nd.ID]] = nd.ID
+			}
+			if nd.Op.NeedsFU() && res.Start[nd.ID]+dur(nd.ID) == c {
+				step.Load[n.regOf[nd.ID]] = nd.ID
+			}
+			// Inputs and memory accesses occupy no FU; their values appear
+			// in their registers at their scheduled cycle.
+			if !nd.Op.NeedsFU() && nd.Op != dfg.OpOutput && res.Start[nd.ID] == c {
+				step.Load[n.regOf[nd.ID]] = nd.ID
+			}
+		}
+		if len(step.Fire)+len(step.Load)+len(step.Shift) > 0 {
+			n.Control = append(n.Control, step)
+		}
+	}
+	return n, nil
+}
+
+// regState tracks one register's slot occupancy (modulo the initiation
+// interval) during left-edge binding.
+type regState struct {
+	reg  Register
+	busy []bool
+}
+
+// Validate checks structural netlist invariants: every compute node bound
+// to exactly one FU, every value to a register, no register hosts
+// overlapping lifetimes (implied by construction, re-checked here), and
+// every FU's modulo occupancy is conflict-free.
+func (n *Netlist) Validate(g *dfg.Graph) error {
+	for _, nd := range g.Nodes {
+		if nd.Op.NeedsFU() {
+			if n.fuOf[nd.ID] == "" {
+				return fmt.Errorf("rtl: node %q not bound to an FU", nd.Name)
+			}
+		}
+		if nd.Op != dfg.OpOutput && n.regOf[nd.ID] == "" {
+			return fmt.Errorf("rtl: value of %q not bound to a register", nd.Name)
+		}
+	}
+	seen := map[string]bool{}
+	for _, fu := range n.FUs {
+		if seen[fu.Name] {
+			return fmt.Errorf("rtl: duplicate FU %q", fu.Name)
+		}
+		seen[fu.Name] = true
+	}
+	for _, r := range n.Regs {
+		if seen[r.Name] {
+			return fmt.Errorf("rtl: duplicate register %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	return nil
+}
+
+// OpCyclesFor returns the per-op duration function matching BAD's schedule
+// derivation for a design: one cycle per operation in the single-cycle
+// style, ceil(moduleDelay / datapathCycleNS) in the multi-cycle style.
+func OpCyclesFor(d bad.Design, multiCycle bool, datapathNS float64) func(dfg.Node) int {
+	return func(n dfg.Node) int {
+		if !n.Op.NeedsFU() {
+			return 0
+		}
+		m, ok := d.ModuleSet[n.Op]
+		if !ok || !multiCycle {
+			return 1
+		}
+		c := int((m.Delay + datapathNS - 1e-9) / datapathNS)
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+}

@@ -1,0 +1,76 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"chop/internal/dfg"
+)
+
+func TestVerilogEmission(t *testing.T) {
+	g := dfg.ARLatticeFilter(16)
+	n, _, _ := bindFirst(t, g)
+	v := n.Verilog(g)
+
+	for _, want := range []string{
+		"module ar_lattice_filter(",
+		"input clk",
+		"input signed [15:0] x1",
+		"output reg signed [15:0] y1",
+		"endmodule",
+		"case (step)",
+	} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("Verilog missing %q:\n%s", want, v[:min(len(v), 800)])
+		}
+	}
+	// every register appears as a declaration
+	for _, r := range n.Regs {
+		if !strings.Contains(v, "reg signed [15:0] "+r.Name+";") {
+			t.Fatalf("register %s not declared", r.Name)
+		}
+	}
+	// every FU has a combinational wire
+	for _, fu := range n.FUs {
+		if !strings.Contains(v, "wire signed [15:0] "+fu.Name+"_y") {
+			t.Fatalf("FU %s not instantiated", fu.Name)
+		}
+	}
+	// balanced module/endmodule and begin/end counts
+	if strings.Count(v, "module ") != 1 || strings.Count(v, "endmodule") != 1 {
+		t.Fatal("module structure broken")
+	}
+	if strings.Count(v, "begin") != strings.Count(v, " end")+strings.Count(v, "\n  end") {
+		t.Logf("begin/end counting is heuristic; visual check:\n%s", v[:400])
+	}
+}
+
+func TestVerilogSanitize(t *testing.T) {
+	cases := map[string]string{
+		"ar-lattice-filter": "ar_lattice_filter",
+		"x1":                "x1",
+		"9lives":            "_lives",
+		"out:y1":            "out_y1",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 64: 6, 65: 7}
+	for states, want := range cases {
+		if got := bitsFor(states); got != want {
+			t.Errorf("bitsFor(%d) = %d, want %d", states, got, want)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,199 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"chop/internal/dfg"
+)
+
+// ForceDirected computes a time-constrained schedule for the given latency
+// using force-directed scheduling (Paulin & Knight, the paper's reference
+// [9]): operations are fixed one at a time at the start cycle that
+// minimizes the "force" — the increase in expected concurrency measured on
+// per-operation-type distribution graphs — so the final schedule needs few
+// functional units. It returns the schedule and the implied allocation (the
+// peak per-type concurrency).
+//
+// The latency must be at least the critical path; otherwise ok is false.
+func ForceDirected(p Problem, latency int) (Result, map[dfg.Op]int, bool, error) {
+	g := p.G
+	dur := func(id int) int { return p.cyclesOf(id) }
+
+	asap, minLat, err := ASAP(p)
+	if err != nil {
+		return Result{}, nil, false, err
+	}
+	if latency < minLat {
+		return Result{}, nil, false, nil
+	}
+	alap, err := ALAP(p, latency)
+	if err != nil {
+		return Result{}, nil, false, err
+	}
+	for id := range g.Nodes {
+		if alap[id] < asap[id] {
+			return Result{}, nil, false, fmt.Errorf("sched: fds: inconsistent frame for node %d", id)
+		}
+	}
+
+	lo := append([]int(nil), asap...)
+	hi := append([]int(nil), alap...)
+	// pinned marks compute nodes whose start has been force-fixed. I/O and
+	// memory markers (zero duration) are never pinned: their frames float
+	// with their neighbors during propagation.
+	pinned := make([]bool, len(g.Nodes))
+
+	// distribution adds node id's occupancy probability to dg over its
+	// current frame: probability 1/(frameWidth) per start slot, spread over
+	// the op's duration.
+	type dgKey struct {
+		op dfg.Op
+		c  int
+	}
+	dg := make(map[dgKey]float64)
+	addProb := func(id int, w float64) {
+		n := g.Nodes[id]
+		if !n.Op.NeedsFU() {
+			return
+		}
+		width := hi[id] - lo[id] + 1
+		p := w / float64(width)
+		for s := lo[id]; s <= hi[id]; s++ {
+			for k := 0; k < dur(id); k++ {
+				dg[dgKey{n.Op, s + k}] += p
+			}
+		}
+	}
+	for id := range g.Nodes {
+		addProb(id, 1)
+	}
+
+	// selfForce of fixing id at start s: the change in distribution-graph
+	// "energy" from collapsing its frame to s.
+	selfForce := func(id, s int) float64 {
+		n := g.Nodes[id]
+		width := float64(hi[id] - lo[id] + 1)
+		f := 0.0
+		for t := lo[id]; t <= hi[id]; t++ {
+			for k := 0; k < dur(id); k++ {
+				avg := dg[dgKey{n.Op, t + k}]
+				if t == s {
+					f += avg * (1 - 1/width)
+				} else {
+					f -= avg * (1 / width)
+				}
+			}
+		}
+		return f
+	}
+
+	// propagate recomputes the frames of unfixed nodes given the fixed
+	// starts, forward (ASAP-like) and backward (ALAP-like).
+	propagate := func() error {
+		order, err := g.TopoOrder()
+		if err != nil {
+			return err
+		}
+		for _, id := range order {
+			if pinned[id] {
+				continue
+			}
+			s := asap[id]
+			for _, pr := range g.Preds(id) {
+				if f := lo[pr] + dur(pr); f > s {
+					s = f
+				}
+			}
+			lo[id] = s
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			id := order[i]
+			if pinned[id] {
+				continue
+			}
+			s := alap[id]
+			for _, su := range g.Succs(id) {
+				if lim := hi[su] - dur(id); lim < s {
+					s = lim
+				}
+			}
+			hi[id] = s
+			if hi[id] < lo[id] {
+				return fmt.Errorf("sched: fds: frame collapsed for %q", g.Nodes[id].Name)
+			}
+		}
+		return nil
+	}
+
+	rebuildDG := func() {
+		for k := range dg {
+			delete(dg, k)
+		}
+		for id := range g.Nodes {
+			addProb(id, 1)
+		}
+	}
+
+	remaining := 0
+	for _, n := range g.Nodes {
+		if n.Op.NeedsFU() {
+			remaining++
+		}
+	}
+
+	for remaining > 0 {
+		bestID, bestS := -1, 0
+		bestF := math.Inf(1)
+		for id, n := range g.Nodes {
+			if pinned[id] || !n.Op.NeedsFU() {
+				continue
+			}
+			if lo[id] == hi[id] {
+				// Forced placement: prefer these immediately (zero force).
+				bestID, bestS, bestF = id, lo[id], math.Inf(-1)
+				break
+			}
+			for s := lo[id]; s <= hi[id]; s++ {
+				if f := selfForce(id, s); f < bestF {
+					bestID, bestS, bestF = id, s, f
+				}
+			}
+		}
+		if bestID < 0 {
+			return Result{}, nil, false, fmt.Errorf("sched: fds: no schedulable node")
+		}
+		lo[bestID], hi[bestID] = bestS, bestS
+		pinned[bestID] = true
+		remaining--
+		if err := propagate(); err != nil {
+			return Result{}, nil, false, err
+		}
+		rebuildDG()
+	}
+
+	start := make([]int, len(g.Nodes))
+	lat := 0
+	for id := range g.Nodes {
+		start[id] = lo[id]
+		if f := lo[id] + dur(id); f > lat {
+			lat = f
+		}
+	}
+	// Implied allocation: peak concurrency per op type.
+	usage := map[dgKey]int{}
+	fus := map[dfg.Op]int{}
+	for id, n := range g.Nodes {
+		if !n.Op.NeedsFU() {
+			continue
+		}
+		for k := 0; k < dur(id); k++ {
+			key := dgKey{n.Op, start[id] + k}
+			usage[key]++
+			if usage[key] > fus[n.Op] {
+				fus[n.Op] = usage[key]
+			}
+		}
+	}
+	return Result{Start: start, Latency: lat}, fus, true, nil
+}

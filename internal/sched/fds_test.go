@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"testing"
+
+	"chop/internal/dfg"
+)
+
+func TestFDSRespectsPrecedenceAndLatency(t *testing.T) {
+	g := dfg.ARLatticeFilter(16)
+	p := Problem{G: g, Cycles: unit}
+	for _, L := range []int{6, 8, 10, 14} {
+		res, fus, ok, err := ForceDirected(p, L)
+		if err != nil {
+			t.Fatalf("L=%d: %v", L, err)
+		}
+		if !ok {
+			t.Fatalf("L=%d: reported infeasible above the critical path", L)
+		}
+		if res.Latency > L {
+			t.Fatalf("L=%d: schedule latency %d exceeds target", L, res.Latency)
+		}
+		for _, e := range g.Edges {
+			if !g.Nodes[e.From].Op.NeedsFU() || !g.Nodes[e.To].Op.NeedsFU() {
+				continue
+			}
+			if res.Start[e.To] < res.Start[e.From]+1 {
+				t.Fatalf("L=%d: precedence violated on %d->%d", L, e.From, e.To)
+			}
+		}
+		if fus[dfg.OpMul] < 1 || fus[dfg.OpAdd] < 1 {
+			t.Fatalf("L=%d: empty allocation %v", L, fus)
+		}
+	}
+}
+
+func TestFDSBelowCriticalPath(t *testing.T) {
+	g := dfg.ARLatticeFilter(16)
+	p := Problem{G: g, Cycles: unit}
+	cp, _ := CriticalCycles(p)
+	_, _, ok, err := ForceDirected(p, cp-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("latency below the critical path accepted")
+	}
+}
+
+func TestFDSAllocationShrinksWithLatency(t *testing.T) {
+	g := dfg.ARLatticeFilter(16)
+	p := Problem{G: g, Cycles: unit}
+	total := func(L int) int {
+		_, fus, ok, err := ForceDirected(p, L)
+		if err != nil || !ok {
+			t.Fatalf("L=%d: ok=%v err=%v", L, ok, err)
+		}
+		s := 0
+		for _, n := range fus {
+			s += n
+		}
+		return s
+	}
+	tight := total(6)
+	loose := total(16)
+	if loose > tight {
+		t.Fatalf("more slack must not need more FUs: %d (L=6) vs %d (L=16)", tight, loose)
+	}
+	if loose == tight {
+		t.Fatalf("FDS found no sharing opportunity with 10 extra cycles")
+	}
+}
+
+func TestFDSBeatsOrMatchesResourceBound(t *testing.T) {
+	// The allocation implied by FDS can never beat ceil(busy/L) per type;
+	// check it stays within 2x of that lower bound on the AR filter.
+	g := dfg.ARLatticeFilter(16)
+	p := Problem{G: g, Cycles: unit}
+	for _, L := range []int{7, 10, 14} {
+		_, fus, ok, err := ForceDirected(p, L)
+		if err != nil || !ok {
+			t.Fatalf("L=%d failed", L)
+		}
+		bound := MinFUs(p, L)
+		for op, n := range fus {
+			if n < bound[op] {
+				t.Fatalf("L=%d: allocation %d below the resource bound %d for %s", L, n, bound[op], op)
+			}
+			if n > 2*bound[op]+1 {
+				t.Fatalf("L=%d: FDS allocation %d far above bound %d for %s", L, n, bound[op], op)
+			}
+		}
+	}
+}
+
+func TestFDSMultiCycleOps(t *testing.T) {
+	g := dfg.ARLatticeFilter(16)
+	p := Problem{G: g, Cycles: func(n dfg.Node) int {
+		if n.Op == dfg.OpMul {
+			return 3
+		}
+		return 1
+	}}
+	cp, _ := CriticalCycles(p)
+	res, fus, ok, err := ForceDirected(p, cp+4)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	// verify no type exceeds its claimed peak concurrency
+	usage := map[dfg.Op]map[int]int{dfg.OpMul: {}, dfg.OpAdd: {}}
+	for id, n := range g.Nodes {
+		if !n.Op.NeedsFU() {
+			continue
+		}
+		d := 1
+		if n.Op == dfg.OpMul {
+			d = 3
+		}
+		for k := 0; k < d; k++ {
+			usage[n.Op][res.Start[id]+k]++
+		}
+	}
+	for op, m := range usage {
+		for c, u := range m {
+			if u > fus[op] {
+				t.Fatalf("cycle %d uses %d %s > claimed %d", c, u, op, fus[op])
+			}
+		}
+	}
+}

@@ -1,0 +1,367 @@
+// Package sched implements the operation scheduling used by the BAD
+// predictor: resource-constrained list scheduling for non-pipelined designs
+// and modulo (initiation-interval constrained) scheduling for pipelined
+// designs, in the style of Sehwa (paper reference [8]). Both support
+// multi-cycle operations; the single-cycle architecture style is the special
+// case where every operation takes exactly one cycle.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"chop/internal/dfg"
+)
+
+// Problem is one scheduling instance over a partition's subgraph.
+type Problem struct {
+	G *dfg.Graph
+	// Cycles returns the execution time of a node in datapath cycles.
+	// It must return >= 1 for FU-consuming ops and 0 for I/O markers.
+	Cycles func(n dfg.Node) int
+	// Limit is the functional-unit allocation per operation type. Ops
+	// absent from the map are unconstrained.
+	Limit map[dfg.Op]int
+}
+
+func (p Problem) cyclesOf(id int) int {
+	n := p.G.Nodes[id]
+	if !n.Op.NeedsFU() {
+		return 0
+	}
+	c := p.Cycles(n)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Result is a computed schedule.
+type Result struct {
+	// Start is the first execution cycle of each node (I/O markers get the
+	// cycle their value is produced/consumed).
+	Start []int
+	// Latency is the total schedule length in cycles: the number of cycles
+	// from the first operation's start to the last operation's completion.
+	Latency int
+	// Instance, when non-nil, records the functional-unit instance index
+	// (within the node's op type) each node was placed on. Modulo
+	// scheduling fills it because per-slot counting alone does not
+	// guarantee the circular intervals pack onto the allocated instances;
+	// binding (package rtl) reuses the recorded placement.
+	Instance []int
+}
+
+// ASAP returns the as-soon-as-possible start cycle of every node and the
+// resulting unconstrained latency.
+func ASAP(p Problem) (starts []int, latency int, err error) {
+	order, err := p.G.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	starts = make([]int, len(p.G.Nodes))
+	for _, id := range order {
+		s := 0
+		for _, pr := range p.G.Preds(id) {
+			if f := starts[pr] + p.cyclesOf(pr); f > s {
+				s = f
+			}
+		}
+		starts[id] = s
+		if f := s + p.cyclesOf(id); f > latency {
+			latency = f
+		}
+	}
+	return starts, latency, nil
+}
+
+// ALAP returns the as-late-as-possible start cycles for the given deadline
+// (in cycles). Nodes that cannot meet the deadline get negative starts.
+func ALAP(p Problem, deadline int) ([]int, error) {
+	order, err := p.G.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	starts := make([]int, len(p.G.Nodes))
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		s := deadline - p.cyclesOf(id)
+		for _, su := range p.G.Succs(id) {
+			if lim := starts[su] - p.cyclesOf(id); lim < s {
+				s = lim
+			}
+		}
+		starts[id] = s
+	}
+	return starts, nil
+}
+
+// CriticalCycles returns the unconstrained critical-path length in cycles.
+func CriticalCycles(p Problem) (int, error) {
+	_, lat, err := ASAP(p)
+	return lat, err
+}
+
+// priorities returns, per node, the length in cycles of the longest path
+// from that node to any sink (inclusive of the node itself). Higher is more
+// urgent; this is the standard list-scheduling priority.
+func priorities(p Problem) ([]int, error) {
+	order, err := p.G.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	prio := make([]int, len(p.G.Nodes))
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		max := 0
+		for _, su := range p.G.Succs(id) {
+			if prio[su] > max {
+				max = prio[su]
+			}
+		}
+		prio[id] = max + p.cyclesOf(id)
+	}
+	return prio, nil
+}
+
+// ListSchedule computes a resource-constrained non-pipelined schedule using
+// critical-path list scheduling. It never fails for positive FU limits; the
+// schedule just lengthens as resources shrink.
+func ListSchedule(p Problem) (Result, error) {
+	if err := checkLimits(p); err != nil {
+		return Result{}, err
+	}
+	prio, err := priorities(p)
+	if err != nil {
+		return Result{}, err
+	}
+	order, _ := p.G.TopoOrder()
+
+	start := make([]int, len(p.G.Nodes))
+	for i := range start {
+		start[i] = -1
+	}
+	unschedPreds := make([]int, len(p.G.Nodes))
+	for id := range p.G.Nodes {
+		unschedPreds[id] = len(p.G.Preds(id))
+	}
+	// busy[op] holds the finish cycles of in-flight ops of that type, one
+	// entry per occupied FU instance.
+	type event struct{ finish int }
+	busy := make(map[dfg.Op][]event)
+
+	ready := make([]int, 0, len(p.G.Nodes))
+	for _, id := range order {
+		if unschedPreds[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	earliest := make([]int, len(p.G.Nodes))
+	scheduled := 0
+	latency := 0
+	for cycle := 0; scheduled < len(p.G.Nodes); cycle++ {
+		// Retire finished ops.
+		for op, evs := range busy {
+			kept := evs[:0]
+			for _, e := range evs {
+				if e.finish > cycle {
+					kept = append(kept, e)
+				}
+			}
+			busy[op] = kept
+		}
+		// Repeatedly sweep the ready list within this cycle: scheduling a
+		// zero-duration node (an I/O marker) can make its successors ready
+		// in the very same cycle.
+		for progress := true; progress; {
+			progress = false
+			// Most-urgent-first among ready ops whose earliest time has come.
+			sort.Slice(ready, func(i, j int) bool {
+				if prio[ready[i]] != prio[ready[j]] {
+					return prio[ready[i]] > prio[ready[j]]
+				}
+				return ready[i] < ready[j]
+			})
+			var still []int
+			for _, id := range ready {
+				if earliest[id] > cycle {
+					still = append(still, id)
+					continue
+				}
+				op := p.G.Nodes[id].Op
+				dur := p.cyclesOf(id)
+				if dur > 0 {
+					limit, has := p.Limit[op]
+					if has && len(busy[op]) >= limit {
+						still = append(still, id)
+						continue
+					}
+					busy[op] = append(busy[op], event{finish: cycle + dur})
+				}
+				start[id] = cycle
+				if f := cycle + dur; f > latency {
+					latency = f
+				}
+				scheduled++
+				progress = true
+				for _, su := range p.G.Succs(id) {
+					if e := cycle + dur; e > earliest[su] {
+						earliest[su] = e
+					}
+					unschedPreds[su]--
+					if unschedPreds[su] == 0 {
+						still = append(still, su)
+					}
+				}
+			}
+			ready = still
+		}
+		if cycle > len(p.G.Nodes)*maxDur(p)+len(p.G.Nodes)+8 && scheduled < len(p.G.Nodes) {
+			return Result{}, fmt.Errorf("sched: list schedule did not converge (graph %q)", p.G.Name)
+		}
+	}
+	return Result{Start: start, Latency: latency}, nil
+}
+
+func maxDur(p Problem) int {
+	m := 1
+	for id := range p.G.Nodes {
+		if d := p.cyclesOf(id); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func checkLimits(p Problem) error {
+	for op, n := range p.Limit {
+		if n <= 0 {
+			return fmt.Errorf("sched: non-positive FU limit %d for op %q", n, op)
+		}
+	}
+	return nil
+}
+
+// MinFUs returns the theoretical minimum functional-unit allocation that
+// could sustain the given initiation interval: for each op type,
+// ceil(total busy cycles / II).
+func MinFUs(p Problem, ii int) map[dfg.Op]int {
+	busy := make(map[dfg.Op]int)
+	for id, n := range p.G.Nodes {
+		if n.Op.NeedsFU() {
+			busy[n.Op] += p.cyclesOf(id)
+		}
+	}
+	out := make(map[dfg.Op]int, len(busy))
+	for op, b := range busy {
+		out[op] = (b + ii - 1) / ii
+	}
+	return out
+}
+
+// PipelinedSchedule computes a modulo schedule with the given initiation
+// interval: a new sample enters every ii cycles and resource usage is
+// counted modulo ii. It returns ok=false when the allocation cannot sustain
+// the interval (resource or precedence pressure).
+func PipelinedSchedule(p Problem, ii int) (Result, bool, error) {
+	if ii < 1 {
+		return Result{}, false, fmt.Errorf("sched: initiation interval %d < 1", ii)
+	}
+	if err := checkLimits(p); err != nil {
+		return Result{}, false, err
+	}
+	// Quick resource lower-bound rejection.
+	need := MinFUs(p, ii)
+	for op, n := range need {
+		if limit, has := p.Limit[op]; has && n > limit {
+			return Result{}, false, nil
+		}
+	}
+	order, err := p.G.TopoOrder()
+	if err != nil {
+		return Result{}, false, err
+	}
+	// Schedule in topological order, each op at the earliest start where a
+	// concrete FU instance has the op's whole circular interval free.
+	// Tracking instances (not just per-slot counts) matters: circular-arc
+	// packing can need more machines than the peak slot count, so per-slot
+	// feasibility alone would admit schedules no binding can realize.
+	wheels := make(map[dfg.Op][][]bool) // op -> instance -> slot busy
+	start := make([]int, len(p.G.Nodes))
+	instance := make([]int, len(p.G.Nodes))
+	for i := range instance {
+		instance[i] = -1
+	}
+	latency := 0
+	horizon := ii * (len(p.G.Nodes) + 2)
+	for _, id := range order {
+		n := p.G.Nodes[id]
+		dur := p.cyclesOf(id)
+		s := 0
+		for _, pr := range p.G.Preds(id) {
+			if f := start[pr] + p.cyclesOf(pr); f > s {
+				s = f
+			}
+		}
+		if dur == 0 {
+			start[id] = s
+			continue
+		}
+		if dur > ii {
+			// An operation longer than the interval permanently occupies
+			// more than one instance-wheel; with one new sample per ii
+			// cycles such an op can never be rebound, so reject.
+			return Result{}, false, nil
+		}
+		limit, has := p.Limit[n.Op]
+		if !has {
+			limit = len(p.G.Nodes)
+		}
+		ws := wheels[n.Op]
+		if ws == nil {
+			ws = make([][]bool, 0, limit)
+			wheels[n.Op] = ws
+		}
+		placed := false
+		for ; s <= horizon && !placed; s++ {
+			for wi := 0; wi < limit; wi++ {
+				if wi == len(ws) {
+					ws = append(ws, make([]bool, ii))
+					wheels[n.Op] = ws
+				}
+				free := true
+				for k := 0; k < dur; k++ {
+					if ws[wi][(s+k)%ii] {
+						free = false
+						break
+					}
+				}
+				if free {
+					for k := 0; k < dur; k++ {
+						ws[wi][(s+k)%ii] = true
+					}
+					start[id] = s
+					instance[id] = wi
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			return Result{}, false, nil
+		}
+		if f := start[id] + dur; f > latency {
+			latency = f
+		}
+	}
+	return Result{Start: start, Latency: latency, Instance: instance}, true, nil
+}
+
+// Stages returns the number of pipeline stages of a modulo schedule:
+// ceil(latency / ii). For non-pipelined schedules pass ii = latency to get 1.
+func Stages(latency, ii int) int {
+	if ii <= 0 {
+		return 0
+	}
+	return (latency + ii - 1) / ii
+}

@@ -1,0 +1,299 @@
+// Package sim provides three verification tools for the synthesis flow:
+//
+//   - Evaluate: a behavioral golden model that executes a data-flow graph
+//     on concrete integer inputs;
+//   - RunNetlist: a cycle-accurate interpreter for bound RTL netlists
+//     (package rtl) driven by their control tables, used to prove that a
+//     synthesized partition implementation computes the same function as
+//     the behavior it was derived from;
+//   - StreamPeak: a multi-sample streaming simulation of a data-transfer
+//     module's buffer occupancy, used to check the paper's buffer-sizing
+//     formula B = D*(ceil(W/l) + X/l) against observed peaks.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"chop/internal/dfg"
+	"chop/internal/rtl"
+)
+
+// Coeffs supplies the constant operand of operations that take fewer data
+// operands than their arity (e.g. a multiplier scaling by a filter
+// coefficient) and the contents returned by memory reads.
+type Coeffs func(n dfg.Node) int64
+
+// DefaultCoeffs is dfg.Node.Coefficient as a Coeffs function: the declared
+// constant when present, a deterministic node-dependent default otherwise.
+func DefaultCoeffs(n dfg.Node) int64 { return n.Coefficient() }
+
+// apply executes one operation on its operand values, padding missing
+// operands with the node's coefficient.
+func apply(n dfg.Node, args []int64, coef Coeffs) (int64, error) {
+	arg := func(i int) int64 {
+		if i < len(args) {
+			return args[i]
+		}
+		return coef(n)
+	}
+	switch n.Op {
+	case dfg.OpAdd:
+		return arg(0) + arg(1), nil
+	case dfg.OpSub:
+		return arg(0) - arg(1), nil
+	case dfg.OpMul:
+		return arg(0) * arg(1), nil
+	case dfg.OpDiv:
+		d := arg(1)
+		if d == 0 {
+			return 0, fmt.Errorf("sim: division by zero at %q", n.Name)
+		}
+		return arg(0) / d, nil
+	case dfg.OpCmp:
+		if arg(0) < arg(1) {
+			return 1, nil
+		}
+		return 0, nil
+	case dfg.OpMemRd:
+		return coef(n), nil
+	case dfg.OpMemWr, dfg.OpOutput:
+		return arg(0), nil
+	default:
+		return 0, fmt.Errorf("sim: cannot evaluate op %q", n.Op)
+	}
+}
+
+// Evaluate executes the graph on the given primary-input values and returns
+// the value of every primary output (and memory write) by name. Missing
+// inputs default to zero.
+func Evaluate(g *dfg.Graph, inputs map[string]int64, coef Coeffs) (map[string]int64, error) {
+	if coef == nil {
+		coef = DefaultCoeffs
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	val := make([]int64, len(g.Nodes))
+	out := make(map[string]int64)
+	for _, id := range order {
+		n := g.Nodes[id]
+		if n.Op == dfg.OpInput {
+			val[id] = inputs[n.Name]
+			continue
+		}
+		var args []int64
+		for _, p := range g.Preds(id) {
+			args = append(args, val[p])
+		}
+		v, err := apply(n, args, coef)
+		if err != nil {
+			return nil, err
+		}
+		val[id] = v
+		if n.Op == dfg.OpOutput || n.Op == dfg.OpMemWr {
+			out[n.Name] = v
+		}
+	}
+	return out, nil
+}
+
+// RunNetlist interprets a bound netlist's control table cycle by cycle:
+// register loads for values completing in a cycle happen before the fires of
+// that cycle, mirroring edge-triggered registers. It supports non-pipelined
+// netlists (one sample resident); pipelined netlists overlap samples and
+// need a stream-level testbench instead.
+//
+// It returns the final register-file view of every primary output.
+func RunNetlist(g *dfg.Graph, n *rtl.Netlist, inputs map[string]int64, coef Coeffs) (map[string]int64, error) {
+	if coef == nil {
+		coef = DefaultCoeffs
+	}
+	if err := n.Validate(g); err != nil {
+		return nil, err
+	}
+	regs := make(map[string]int64)
+	pending := make(map[int]int64) // node ID -> computed value awaiting load
+	out := make(map[string]int64)
+
+	// Outputs are latched the moment their producer's value is born: in the
+	// partitioned system the data-transfer module takes the value over right
+	// then, and the producer's register may be reused afterwards.
+	outputsOf := make(map[int][]string)
+	for _, nd := range g.Nodes {
+		if nd.Op != dfg.OpOutput {
+			continue
+		}
+		src := g.Preds(nd.ID)
+		if len(src) != 1 {
+			return nil, fmt.Errorf("sim: output %q has %d producers", nd.Name, len(src))
+		}
+		outputsOf[src[0]] = append(outputsOf[src[0]], nd.Name)
+	}
+
+	// Pre-compute per-node operand registers in predecessor order (chained
+	// values resolve to the chain position matching the consumer).
+	operands := make([][]string, len(g.Nodes))
+	for _, nd := range g.Nodes {
+		for pos, p := range g.Preds(nd.ID) {
+			operands[nd.ID] = append(operands[nd.ID], n.OperandReg(nd.ID, pos, p))
+		}
+	}
+	// Topological position breaks ties among same-cycle combinational
+	// (memory) loads that chain through each other.
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	topoPos := make([]int, len(g.Nodes))
+	for i, id := range order {
+		topoPos[id] = i
+	}
+	for _, step := range n.Control {
+		// Shifts first, with snapshot semantics (all sources read before
+		// any destination is written).
+		applyShifts(regs, step.Shift)
+		// Loads next: values completing this cycle become visible. Process
+		// in topological order so same-cycle combinational chains resolve.
+		loads := make([]int, 0, len(step.Load))
+		regFor := make(map[int]string, len(step.Load))
+		for regName, id := range step.Load {
+			loads = append(loads, id)
+			regFor[id] = regName
+		}
+		sort.Slice(loads, func(i, j int) bool { return topoPos[loads[i]] < topoPos[loads[j]] })
+		for _, id := range loads {
+			regName := regFor[id]
+			nd := g.Nodes[id]
+			if nd.Op == dfg.OpInput {
+				regs[regName] = inputs[nd.Name]
+				continue
+			}
+			if !nd.Op.NeedsFU() {
+				// memory reads and writes resolve combinationally here
+				var args []int64
+				for _, r := range operands[id] {
+					args = append(args, regs[r])
+				}
+				v, err := apply(nd, args, coef)
+				if err != nil {
+					return nil, err
+				}
+				regs[regName] = v
+				continue
+			}
+			v, ok := pending[id]
+			if !ok {
+				return nil, fmt.Errorf("sim: register %s loads %q before it fired", regName, nd.Name)
+			}
+			regs[regName] = v
+			delete(pending, id)
+			for _, name := range outputsOf[id] {
+				out[name] = v
+			}
+		}
+		// Fires: read operand registers now, complete later.
+		for _, id := range step.Fire {
+			nd := g.Nodes[id]
+			var args []int64
+			for _, r := range operands[id] {
+				args = append(args, regs[r])
+			}
+			v, err := apply(nd, args, coef)
+			if err != nil {
+				return nil, err
+			}
+			pending[id] = v
+		}
+	}
+	// Outputs fed directly by inputs or memory reads (no FU load path) are
+	// read from their producer's register now.
+	for src, names := range outputsOf {
+		if g.Nodes[src].Op.NeedsFU() {
+			continue
+		}
+		for _, name := range names {
+			out[name] = regs[n.RegOf(src)]
+		}
+	}
+	return out, nil
+}
+
+// applyShifts performs one cycle's register shifts with snapshot semantics.
+func applyShifts(regs map[string]int64, shifts map[string]string) {
+	if len(shifts) == 0 {
+		return
+	}
+	snap := make(map[string]int64, len(shifts))
+	for _, src := range shifts {
+		snap[src] = regs[src]
+	}
+	for dst, src := range shifts {
+		regs[dst] = snap[src]
+	}
+}
+
+// VerifyNetlist binds nothing itself: it runs both the golden model and the
+// netlist on the same inputs and reports the first mismatch.
+func VerifyNetlist(g *dfg.Graph, n *rtl.Netlist, inputs map[string]int64, coef Coeffs) error {
+	want, err := Evaluate(g, inputs, coef)
+	if err != nil {
+		return err
+	}
+	got, err := RunNetlist(g, n, inputs, coef)
+	if err != nil {
+		return err
+	}
+	for _, nd := range g.Nodes {
+		if nd.Op != dfg.OpOutput {
+			continue
+		}
+		if got[nd.Name] != want[nd.Name] {
+			return fmt.Errorf("sim: output %q = %d, golden model says %d",
+				nd.Name, got[nd.Name], want[nd.Name])
+		}
+	}
+	return nil
+}
+
+// StreamPeak simulates a data-transfer module streaming `samples` samples at
+// initiation interval l (main cycles): sample k's payload of d bits becomes
+// resident at k*l, waits w cycles, then drains linearly over the x transfer
+// cycles. It returns the peak resident bits observed at any integer time.
+// The paper's formula B = D*(ceil(W/l) + X/l) is a most-likely estimate of
+// this peak (the X/l term credits the stair-like drain), so callers should
+// allow up to one extra sample of headroom when comparing.
+func StreamPeak(d, w, x, l, samples int) float64 {
+	if d <= 0 || samples <= 0 {
+		return 0
+	}
+	if l < 1 {
+		l = 1
+	}
+	horizon := samples*l + w + x + 1
+	peak := 0.0
+	for t := 0; t <= horizon; t++ {
+		total := 0.0
+		for k := 0; k < samples; k++ {
+			ready := k * l
+			xferStart := ready + w
+			xferEnd := xferStart + x
+			switch {
+			case t < ready || t >= xferEnd:
+				// not yet resident / fully handed off
+			case t < xferStart:
+				total += float64(d)
+			default: // draining
+				if x > 0 {
+					frac := 1 - float64(t-xferStart)/float64(x)
+					total += float64(d) * frac
+				}
+			}
+		}
+		if total > peak {
+			peak = total
+		}
+	}
+	return peak
+}

@@ -1,0 +1,258 @@
+// Package urgency implements the urgency scheduling step of CHOP's system
+// integration (paper section 2.5): given the delays of all tasks (partition
+// executions and data transfers) and the pin capacity of every chip, it
+// builds a task schedule that shares chip pins feasibly while minimizing the
+// overall system delay. The urgency measure is the task's critical-path
+// distance to the schedule's end, as in Sehwa (paper reference [8]).
+package urgency
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Task is one schedulable unit: a partition execution or a data transfer.
+type Task struct {
+	Name string
+	// Dur is the task duration in main-clock cycles (>= 0).
+	Dur int
+	// Deps lists the indices of tasks that must finish before this one
+	// starts.
+	Deps []int
+	// Pins maps chip index -> pins occupied on that chip while the task
+	// runs. Partition executions occupy no pins; transfers occupy their
+	// bus width on every involved chip.
+	Pins map[int]int
+}
+
+// Result is the computed task schedule.
+type Result struct {
+	// Start holds each task's start time in main-clock cycles.
+	Start []int
+	// Makespan is the system delay: the latest finish time.
+	Makespan int
+}
+
+// Schedule computes an urgency-driven resource-constrained schedule. cap
+// maps chip index -> available pins. It returns an error when a task
+// demands more pins than its chip has (structurally infeasible), when
+// dependencies are malformed, or when the task graph is cyclic.
+func Schedule(tasks []Task, cap map[int]int) (Result, error) {
+	n := len(tasks)
+	if n == 0 {
+		return Result{}, nil
+	}
+	for i, t := range tasks {
+		if t.Dur < 0 {
+			return Result{}, fmt.Errorf("urgency: task %q has negative duration", t.Name)
+		}
+		for _, d := range t.Deps {
+			if d < 0 || d >= n {
+				return Result{}, fmt.Errorf("urgency: task %q has dependency %d out of range", t.Name, d)
+			}
+			if d == i {
+				return Result{}, fmt.Errorf("urgency: task %q depends on itself", t.Name)
+			}
+		}
+		for chip, p := range t.Pins {
+			if p > cap[chip] {
+				return Result{}, fmt.Errorf("urgency: task %q needs %d pins on chip %d (capacity %d)",
+					t.Name, p, chip, cap[chip])
+			}
+			if p < 0 {
+				return Result{}, fmt.Errorf("urgency: task %q has negative pin demand", t.Name)
+			}
+		}
+	}
+	succs := make([][]int, n)
+	indeg := make([]int, n)
+	for i, t := range tasks {
+		for _, d := range t.Deps {
+			succs[d] = append(succs[d], i)
+			indeg[i]++
+		}
+	}
+	order, err := topo(tasks, succs, indeg)
+	if err != nil {
+		return Result{}, err
+	}
+	// Urgency: longest path (inclusive) from the task to any sink.
+	urg := make([]int, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		max := 0
+		for _, s := range succs[id] {
+			if urg[s] > max {
+				max = urg[s]
+			}
+		}
+		urg[id] = max + tasks[id].Dur
+	}
+
+	start := make([]int, n)
+	for i := range start {
+		start[i] = -1
+	}
+	finish := make([]int, n)
+	unmet := make([]int, n)
+	copy(unmet, indeg)
+	ready := []int{}
+	for i, d := range unmet {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	earliest := make([]int, n)
+	type running struct{ id, finish int }
+	var active []running
+	free := make(map[int]int, len(cap))
+	for c, p := range cap {
+		free[c] = p
+	}
+	scheduled := 0
+	makespan := 0
+	for t := 0; scheduled < n; t++ {
+		// Retire finished tasks, releasing pins and readying successors.
+		kept := active[:0]
+		for _, r := range active {
+			if r.finish > t {
+				kept = append(kept, r)
+				continue
+			}
+			for c, p := range tasks[r.id].Pins {
+				free[c] += p
+			}
+		}
+		active = kept
+		// Launch ready tasks, most urgent first; sweep until fixpoint so
+		// zero-duration tasks cascade within the same cycle.
+		for progress := true; progress; {
+			progress = false
+			sort.Slice(ready, func(a, b int) bool {
+				if urg[ready[a]] != urg[ready[b]] {
+					return urg[ready[a]] > urg[ready[b]]
+				}
+				return ready[a] < ready[b]
+			})
+			var still []int
+			for _, id := range ready {
+				if earliest[id] > t || !pinsFree(tasks[id].Pins, free) {
+					still = append(still, id)
+					continue
+				}
+				for c, p := range tasks[id].Pins {
+					free[c] -= p
+				}
+				start[id] = t
+				finish[id] = t + tasks[id].Dur
+				if finish[id] > makespan {
+					makespan = finish[id]
+				}
+				if tasks[id].Dur > 0 {
+					active = append(active, running{id, finish[id]})
+				} else {
+					for c, p := range tasks[id].Pins {
+						free[c] += p
+					}
+				}
+				scheduled++
+				progress = true
+				for _, s := range succs[id] {
+					if finish[id] > earliest[s] {
+						earliest[s] = finish[id]
+					}
+					unmet[s]--
+					if unmet[s] == 0 {
+						still = append(still, s)
+					}
+				}
+			}
+			ready = still
+		}
+		if t > horizonFor(tasks) && scheduled < n {
+			return Result{}, fmt.Errorf("urgency: schedule did not converge after %d cycles", t)
+		}
+	}
+	return Result{Start: start, Makespan: makespan}, nil
+}
+
+func pinsFree(need map[int]int, free map[int]int) bool {
+	for c, p := range need {
+		if free[c] < p {
+			return false
+		}
+	}
+	return true
+}
+
+func horizonFor(tasks []Task) int {
+	h := 16
+	for _, t := range tasks {
+		h += t.Dur + 1
+	}
+	return h * 2
+}
+
+func topo(tasks []Task, succs [][]int, indeg []int) ([]int, error) {
+	n := len(tasks)
+	deg := make([]int, n)
+	copy(deg, indeg)
+	queue := []int{}
+	for i, d := range deg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, s := range succs[id] {
+			deg[s]--
+			if deg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("urgency: task graph has a cycle")
+	}
+	return order, nil
+}
+
+// CriticalPath returns the unconstrained critical-path length of the task
+// graph: a lower bound on any schedule's makespan.
+func CriticalPath(tasks []Task) (int, error) {
+	n := len(tasks)
+	succs := make([][]int, n)
+	indeg := make([]int, n)
+	for i, t := range tasks {
+		for _, d := range t.Deps {
+			if d < 0 || d >= n {
+				return 0, fmt.Errorf("urgency: dependency out of range")
+			}
+			succs[d] = append(succs[d], i)
+			indeg[i]++
+		}
+	}
+	order, err := topo(tasks, succs, indeg)
+	if err != nil {
+		return 0, err
+	}
+	finish := make([]int, n)
+	cp := 0
+	for _, id := range order {
+		s := 0
+		for _, d := range tasks[id].Deps {
+			if finish[d] > s {
+				s = finish[d]
+			}
+		}
+		finish[id] = s + tasks[id].Dur
+		if finish[id] > cp {
+			cp = finish[id]
+		}
+	}
+	return cp, nil
+}

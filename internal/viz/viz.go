@@ -1,0 +1,135 @@
+// Package viz renders CHOP's results for human consumption: the
+// design-space scatter of the paper's Figures 7 and 8 as standalone SVG
+// documents, and a global design's urgency-scheduled task timeline as a
+// text Gantt chart (the view a designer uses to see where the system delay
+// goes).
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"chop/internal/core"
+)
+
+// SVG geometry constants.
+const (
+	svgW, svgH             = 720, 480
+	padL, padR, padT, padB = 64, 24, 32, 48
+)
+
+// ScatterSVG renders explored design points (total area vs. system delay)
+// as a self-contained SVG, feasible points filled, infeasible points
+// hollow — the visual of paper Figures 7 and 8.
+func ScatterSVG(title string, points []core.SpacePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		svgW, svgH, svgW, svgH)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14">%s</text>`,
+		padL, escape(title))
+	if len(points) == 0 {
+		b.WriteString(`<text x="300" y="240" font-family="sans-serif">no points</text></svg>`)
+		return b.String()
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		minX, maxX = math.Min(minX, p.AreaML), math.Max(maxX, p.AreaML)
+		minY, maxY = math.Min(minY, p.DelayNS), math.Max(maxY, p.DelayNS)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	plotW := float64(svgW - padL - padR)
+	plotH := float64(svgH - padT - padB)
+	sx := func(v float64) float64 { return float64(padL) + (v-minX)/(maxX-minX)*plotW }
+	sy := func(v float64) float64 { return float64(svgH-padB) - (v-minY)/(maxY-minY)*plotH }
+
+	// axes
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		padL, svgH-padB, svgW-padR, svgH-padB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		padL, padT, padL, svgH-padB)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">total area (mil^2)</text>`,
+		svgW/2-50, svgH-12)
+	fmt.Fprintf(&b, `<text x="12" y="%d" font-family="sans-serif" font-size="12" transform="rotate(-90 12 %d)">system delay (ns)</text>`,
+		svgH/2, svgH/2)
+	// axis extremes
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%.0f</text>`,
+		padL, svgH-padB+14, minX)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%.0f</text>`,
+		svgW-padR-40, svgH-padB+14, maxX)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%.0f</text>`,
+		padL-56, svgH-padB, minY)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%.0f</text>`,
+		padL-56, padT+10, maxY)
+
+	for _, p := range points {
+		if p.Feasible {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="black"/>`,
+				sx(p.AreaML), sy(p.DelayNS))
+		} else {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2" fill="none" stroke="grey"/>`,
+				sx(p.AreaML), sy(p.DelayNS))
+		}
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// Gantt renders a global design's task timeline as text: one row per task,
+// '#' for busy cycles, aligned to the system delay. width caps the chart
+// columns (the timeline is scaled down for long schedules).
+func Gantt(g core.GlobalDesign, width int) string {
+	if width <= 0 {
+		width = 64
+	}
+	if len(g.Schedule) == 0 {
+		return "(no schedule recorded)\n"
+	}
+	makespan := g.DelayMain
+	if makespan < 1 {
+		makespan = 1
+	}
+	scale := 1.0
+	if makespan > width {
+		scale = float64(width) / float64(makespan)
+	}
+	col := func(t int) int {
+		c := int(float64(t) * scale)
+		if c > width {
+			c = width
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "system delay: %d cycles (interval %d)\n", g.DelayMain, g.IIMain)
+	for _, span := range g.Schedule {
+		s, e := col(span.Start), col(span.Start+span.Dur)
+		if e <= s {
+			e = s + 1
+		}
+		bar := strings.Repeat(" ", s) + strings.Repeat("#", e-s)
+		chips := ""
+		if len(span.Chips) > 0 {
+			parts := make([]string, len(span.Chips))
+			for i, c := range span.Chips {
+				parts[i] = fmt.Sprintf("c%d", c+1)
+			}
+			chips = " [" + strings.Join(parts, ",") + "]"
+		}
+		fmt.Fprintf(&b, "%-14s |%-*s| %d..%d%s\n",
+			span.Name, width, bar, span.Start, span.Start+span.Dur, chips)
+	}
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

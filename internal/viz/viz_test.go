@@ -1,0 +1,98 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"chop/internal/core"
+)
+
+func TestScatterSVGStructure(t *testing.T) {
+	pts := []core.SpacePoint{
+		{AreaML: 50000, DelayNS: 20000, Feasible: true},
+		{AreaML: 90000, DelayNS: 15000, Feasible: false},
+		{AreaML: 70000, DelayNS: 30000, Feasible: true},
+	}
+	svg := ScatterSVG("figure 7", pts)
+	for _, want := range []string{
+		"<svg", "</svg>", "figure 7", "total area", "system delay",
+		`fill="black"`, `fill="none"`,
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<circle") != 3 {
+		t.Fatalf("expected 3 points, SVG has %d circles", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestScatterSVGEmptyAndDegenerate(t *testing.T) {
+	if svg := ScatterSVG("empty", nil); !strings.Contains(svg, "no points") {
+		t.Fatal("empty scatter should say so")
+	}
+	// identical points: scaling must not divide by zero
+	same := []core.SpacePoint{{AreaML: 1, DelayNS: 1}, {AreaML: 1, DelayNS: 1}}
+	svg := ScatterSVG("same", same)
+	if !strings.Contains(svg, "</svg>") || strings.Contains(svg, "NaN") {
+		t.Fatal("degenerate ranges produced invalid SVG")
+	}
+}
+
+func TestScatterSVGEscapesTitle(t *testing.T) {
+	svg := ScatterSVG(`<&">`, []core.SpacePoint{{AreaML: 1, DelayNS: 1}})
+	if strings.Contains(svg, `<&">`+"</text>") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;&amp;&quot;&gt;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	g := core.GlobalDesign{
+		IIMain:    10,
+		DelayMain: 20,
+		Schedule: []core.TaskSpan{
+			{Name: "P1", Start: 0, Dur: 10},
+			{Name: "T:P1->P2", Start: 10, Dur: 2, Chips: []int{0, 1}},
+			{Name: "P2", Start: 12, Dur: 8},
+		},
+	}
+	out := Gantt(g, 40)
+	if !strings.Contains(out, "system delay: 20") {
+		t.Fatalf("header missing: %s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "[c1,c2]") {
+		t.Fatalf("transfer chips missing: %s", lines[2])
+	}
+	// P2 bar must start after P1's bar ends
+	p1end := strings.LastIndex(lines[1], "#")
+	p2start := strings.Index(lines[3], "#")
+	if p2start <= p1end-3 { // allow rounding
+		t.Fatalf("bars out of order: P1 ends col %d, P2 starts col %d", p1end, p2start)
+	}
+}
+
+func TestGanttScalesLongSchedules(t *testing.T) {
+	g := core.GlobalDesign{
+		DelayMain: 1000,
+		Schedule:  []core.TaskSpan{{Name: "P1", Start: 0, Dur: 1000}},
+	}
+	out := Gantt(g, 50)
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 120 {
+			t.Fatalf("line too long (%d): %q", len(line), line)
+		}
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if out := Gantt(core.GlobalDesign{}, 40); !strings.Contains(out, "no schedule") {
+		t.Fatalf("empty gantt: %q", out)
+	}
+}

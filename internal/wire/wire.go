@@ -1,0 +1,61 @@
+// Package wire implements the standard-cell wiring (routing) area and wire
+// delay predictions used by BAD (paper section 2.4: "standard cell routing
+// area, as well as the additional delays introduced to the clock cycle").
+//
+// The model is the classic routing-factor estimate: routing consumes a
+// fraction of the active cell area that grows with interconnect count, and
+// the representative wire length scales with the square root of the block
+// area (a Rent's-rule style average-net estimate).
+package wire
+
+import (
+	"math"
+
+	"chop/internal/stats"
+)
+
+// Technology constants for the 3-micron process.
+const (
+	// baseRoutingFactor is the routing area per unit cell area for a block
+	// with trivial interconnect.
+	baseRoutingFactor = 0.20
+	// perNetFactor adds routing area per interconnection, as a fraction of
+	// cell area per 100 nets.
+	perNetFactor = 0.06
+	// maxRoutingFactor caps the routing overhead at 120% of cell area.
+	maxRoutingFactor = 1.20
+	// delayPerMil is wire RC delay in ns per mil of average wire length.
+	delayPerMil = 0.012
+	// minWireDelay is the floor on the predicted per-cycle wire delay.
+	minWireDelay = 0.5
+)
+
+// RoutingArea predicts the standard-cell routing area in square mils for a
+// block with the given active (cell) area and interconnect count (number of
+// point-to-point nets: FU inputs/outputs, register and mux connections).
+func RoutingArea(cellArea float64, nets int) stats.Triplet {
+	if cellArea <= 0 {
+		return stats.Exact(0)
+	}
+	f := baseRoutingFactor + perNetFactor*float64(nets)/100
+	if f > maxRoutingFactor {
+		f = maxRoutingFactor
+	}
+	// Routing is the least predictable area component: 10% down, 18% up.
+	return stats.Spread(cellArea*f, 0.10, 0.18)
+}
+
+// Delay predicts the wire delay contributed to the clock cycle for a block
+// of the given total area (cells + routing): the average global net spans
+// about half the block edge.
+func Delay(totalArea float64) stats.Triplet {
+	if totalArea <= 0 {
+		return stats.Exact(0)
+	}
+	length := math.Sqrt(totalArea) / 2
+	ml := length * delayPerMil
+	if ml < minWireDelay {
+		ml = minWireDelay
+	}
+	return stats.Spread(ml, 0.10, 0.25)
+}

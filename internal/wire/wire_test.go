@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoutingAreaZero(t *testing.T) {
+	if got := RoutingArea(0, 100); !got.IsExact() || got.ML != 0 {
+		t.Fatalf("zero cell area must give zero routing, got %v", got)
+	}
+	if got := RoutingArea(-5, 0); got.ML != 0 {
+		t.Fatalf("negative cell area must give zero routing, got %v", got)
+	}
+}
+
+func TestRoutingAreaGrowsWithNets(t *testing.T) {
+	a := RoutingArea(10000, 10)
+	b := RoutingArea(10000, 200)
+	if b.ML <= a.ML {
+		t.Fatalf("routing area must grow with interconnect: %v vs %v", a.ML, b.ML)
+	}
+}
+
+func TestRoutingAreaCapped(t *testing.T) {
+	huge := RoutingArea(1000, 1000000)
+	if huge.ML > 1000*maxRoutingFactor {
+		t.Fatalf("routing factor uncapped: %v", huge.ML)
+	}
+}
+
+func TestRoutingAreaBaseline(t *testing.T) {
+	got := RoutingArea(1000, 0)
+	if got.ML != 200 { // 20% base factor
+		t.Fatalf("baseline routing = %v, want 200", got.ML)
+	}
+}
+
+func TestDelayZero(t *testing.T) {
+	if got := Delay(0); got.ML != 0 {
+		t.Fatalf("Delay(0) = %v", got)
+	}
+}
+
+func TestDelayFloor(t *testing.T) {
+	if got := Delay(1); got.ML != minWireDelay {
+		t.Fatalf("tiny block delay = %v, want floor %v", got.ML, minWireDelay)
+	}
+}
+
+func TestDelayScalesWithArea(t *testing.T) {
+	small := Delay(10000)
+	big := Delay(1000000)
+	if big.ML <= small.ML {
+		t.Fatal("wire delay must grow with block area")
+	}
+	// sqrt scaling: 100x area -> 10x length
+	if big.ML > small.ML*15 || big.ML < small.ML*5 {
+		t.Fatalf("expected ~10x growth, got %v -> %v", small.ML, big.ML)
+	}
+}
+
+func TestDelayPlausibleForChipSizedBlock(t *testing.T) {
+	// A full MOSIS package project area is ~112,650 mil^2; its wire delay
+	// contribution must stay in the single-digit ns range so the adjusted
+	// clock in the experiments stays near 300 ns.
+	d := Delay(112650)
+	if d.ML < 1 || d.ML > 10 {
+		t.Fatalf("chip-scale wire delay %v ns implausible", d.ML)
+	}
+}
+
+func TestPropTripletsValid(t *testing.T) {
+	f := func(area float64, nets uint16) bool {
+		if area < 0 || area > 1e12 {
+			area = 1e6
+		}
+		return RoutingArea(area, int(nets)).Valid() && Delay(area).Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
