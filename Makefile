@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchmem ./...
+
+# ci is what .github/workflows/ci.yml runs.
+ci: vet build race

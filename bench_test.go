@@ -134,6 +134,33 @@ func arSetup(n int) *chop.Partitioning {
 	return experiments.New(1).Partitioning(n, 2)
 }
 
+// BenchmarkSearch isolates the search stage over precomputed per-partition
+// predictions, for both heuristics. This is the hot loop the observability
+// hooks instrument; run it with Config.Trace == nil to measure the
+// disabled-tracing overhead (the acceptance bar is <2% versus the
+// un-instrumented baseline).
+func BenchmarkSearch(b *testing.B) {
+	p := arSetup(3)
+	cfg := exp1Config()
+	preds, err := chop.PredictPartitions(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, h := range []chop.Heuristic{chop.Enumeration, chop.Iterative} {
+		b.Run(h.String(), func(b *testing.B) {
+			var trials int
+			for i := 0; i < b.N; i++ {
+				res, err := chop.Search(p, cfg, preds, h)
+				if err != nil {
+					b.Fatal(err)
+				}
+				trials = res.Trials
+			}
+			b.ReportMetric(float64(trials), "trials")
+		})
+	}
+}
+
 // BenchmarkAblationHeuristic compares the two heuristics head to head on
 // the 3-partition setup (paper Table 4 rows 9-10: 1050 vs 9 trials).
 func BenchmarkAblationHeuristic(b *testing.B) {

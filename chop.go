@@ -49,6 +49,7 @@ import (
 	"chop/internal/kl"
 	"chop/internal/lib"
 	"chop/internal/mem"
+	"chop/internal/obs"
 	"chop/internal/rtl"
 	"chop/internal/sim"
 	"chop/internal/stats"
@@ -260,6 +261,44 @@ var (
 	RunNetlist = sim.RunNetlist
 	// VerifyNetlist checks a netlist against the golden model.
 	VerifyNetlist = sim.VerifyNetlist
+)
+
+// Observability types (package obs). All are nil-safe: a Config with a nil
+// Trace and nil Metrics runs the pipeline with near-zero overhead.
+type (
+	// Tracer emits hierarchical timed spans and structured events for a
+	// CHOP run; attach one via Config.Trace.
+	Tracer = obs.Tracer
+	// TraceSpan is one timed stage of a traced run.
+	TraceSpan = obs.Span
+	// TraceEvent is one trace record (begin/end/point) as serialized to
+	// JSONL by WriterSink and decoded by ReplayTrace.
+	TraceEvent = obs.Event
+	// TraceSink receives trace events; see NewWriterSink and
+	// NewCountingSink.
+	TraceSink = obs.Sink
+	// Metrics is a counter and latency-histogram registry; attach one via
+	// Config.Metrics.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is a point-in-time copy of a Metrics registry.
+	MetricsSnapshot = obs.Snapshot
+	// TraceReport is the aggregation ReplayTrace builds from a trace.
+	TraceReport = obs.Report
+)
+
+var (
+	// NewTracer wraps a sink into a Tracer (nil sink yields a disabled,
+	// nil Tracer).
+	NewTracer = obs.New
+	// NewWriterSink streams events as JSON Lines to a writer.
+	NewWriterSink = obs.NewWriterSink
+	// NewCountingSink counts events by kind and name without storing them.
+	NewCountingSink = obs.NewCountingSink
+	// NewMetrics returns an empty metrics registry.
+	NewMetrics = obs.NewMetrics
+	// ReplayTrace aggregates a JSONL trace stream into a TraceReport;
+	// its Format method renders the human-readable explanation.
+	ReplayTrace = obs.Replay
 )
 
 // Advisor types (package advisor).

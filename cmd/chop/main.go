@@ -10,6 +10,10 @@
 //	chop spec              print an example partitioning spec (JSON)
 //	chop eval -f spec.json evaluate a partitioning spec
 //	chop advise -f spec.json  interactive advisor session (commands on stdin)
+//	chop explain -f trace.jsonl  replay a -trace file into a readable report
+//
+// The eval and synth commands accept -trace <file> to record a JSONL trace
+// of the run and -metrics to print the counter/histogram registry afterward.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -27,6 +32,7 @@ import (
 	"chop/internal/dfg"
 	"chop/internal/experiments"
 	"chop/internal/hlspec"
+	"chop/internal/obs"
 	"chop/internal/rtl"
 	"chop/internal/sim"
 	"chop/internal/spec"
@@ -54,6 +60,8 @@ func main() {
 		err = eval(os.Args[2:])
 	case "advise":
 		err = advise(os.Args[2:])
+	case "explain":
+		err = explain(os.Args[2:])
 	case "compile":
 		err = compile(os.Args[2:])
 	case "synth":
@@ -83,9 +91,14 @@ func usage() {
   spec                 print an example partitioning spec (JSON)
   eval -f spec.json    evaluate a partitioning spec
   advise -f spec.json  interactive advisor session (commands on stdin)
+  explain -f trace.jsonl  replay a trace into a per-stage time and rejection report
   compile -f prog.hls  compile a behavioral program (loops unrolled) and print its DFG
   synth -f spec.json   synthesize the fastest feasible design to RTL, verify it, emit Verilog
   accuracy             compare BAD predictions against bound netlists
+
+eval and synth also accept:
+  -trace file          record a JSONL trace of the run (replay with 'chop explain')
+  -metrics             print the counter/histogram registry after the run
 `)
 }
 
@@ -165,10 +178,64 @@ func printSpec() error {
 	return nil
 }
 
+// obsFlags carries the shared -trace / -metrics observability flags.
+type obsFlags struct {
+	trace   *string
+	metrics *bool
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		trace:   fs.String("trace", "", "record a JSONL trace of the run to this file"),
+		metrics: fs.Bool("metrics", false, "print the counter/histogram registry after the run"),
+	}
+}
+
+// attach wires the requested tracer and metrics registry into cfg and
+// returns a finish function to call once the run is over: it flushes and
+// closes the trace file and prints the metrics dump.
+func (o *obsFlags) attach(cfg *core.Config) (func() error, error) {
+	var f *os.File
+	var ws *obs.WriterSink
+	if *o.trace != "" {
+		var err error
+		f, err = os.Create(*o.trace)
+		if err != nil {
+			return nil, err
+		}
+		ws = obs.NewWriterSink(f)
+		cfg.Trace = obs.New(ws)
+	}
+	var m *obs.Metrics
+	if *o.metrics {
+		m = obs.NewMetrics()
+		cfg.Metrics = m
+	}
+	return func() error {
+		if m != nil {
+			fmt.Println("\nmetrics:")
+			fmt.Print(m.Text())
+		}
+		if f != nil {
+			if err := ws.Err(); err != nil {
+				f.Close()
+				return fmt.Errorf("trace: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s (replay with: chop explain -f %s)\n",
+				*o.trace, *o.trace)
+		}
+		return nil
+	}, nil
+}
+
 func eval(args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	file := fs.String("f", "", "partitioning spec file (JSON)")
 	gantt := fs.Bool("gantt", false, "print the task-schedule timeline of the fastest design")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -183,8 +250,15 @@ func eval(args []string) error {
 	if err != nil {
 		return err
 	}
+	finish, err := of.attach(&prob.Config)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 	res, preds, err := core.Run(prob.Partitioning, prob.Config, prob.Heuristic)
+	if ferr := finish(); ferr != nil && err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return err
 	}
@@ -275,6 +349,37 @@ func advise(args []string) error {
 	}
 }
 
+// explain replays a trace file recorded with -trace into a human-readable
+// report: time breakdown per pipeline stage, BAD predictions per partition,
+// and the trial rejection-reason histogram (overall and per chip).
+func explain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	file := fs.String("f", "", "trace file (JSONL) recorded with -trace; '-' reads stdin")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader
+	switch *file {
+	case "":
+		return fmt.Errorf("explain: -f trace.jsonl required")
+	case "-":
+		r = os.Stdin
+	default:
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := obs.Replay(r)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Format())
+	return nil
+}
+
 // compile compiles a behavioral program written in the hlspec language and
 // prints the resulting data-flow graph.
 func compile(args []string) error {
@@ -314,6 +419,7 @@ func compile(args []string) error {
 func synth(args []string) error {
 	fs := flag.NewFlagSet("synth", flag.ExitOnError)
 	file := fs.String("f", "", "partitioning spec file (JSON)")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -328,7 +434,14 @@ func synth(args []string) error {
 	if err != nil {
 		return err
 	}
+	finish, err := of.attach(&prob.Config)
+	if err != nil {
+		return err
+	}
 	res, _, err := core.Run(prob.Partitioning, prob.Config, prob.Heuristic)
+	if ferr := finish(); ferr != nil && err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return err
 	}

@@ -30,6 +30,7 @@ import (
 	"chop/internal/ctrl"
 	"chop/internal/dfg"
 	"chop/internal/lib"
+	"chop/internal/obs"
 	"chop/internal/sched"
 	"chop/internal/stats"
 	"chop/internal/wire"
@@ -134,6 +135,13 @@ type Config struct {
 	// paper reference [9]) for the non-pipelined design-style sweep in
 	// place of the default minimum-allocation list scheduling with repair.
 	ForceDirected bool
+	// Trace, Span and Metrics are the observability hooks (package obs),
+	// all nil-safe and off by default. Span, when non-nil, receives this
+	// prediction's events directly (core sets it to the per-partition BAD
+	// span); otherwise a root "Predict" span is opened on Trace.
+	Trace   *obs.Tracer
+	Span    *obs.Span
+	Metrics *obs.Metrics
 }
 
 // Design is one predicted implementation of a partition.
@@ -238,12 +246,26 @@ func Predict(g *dfg.Graph, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
+	// Observability: attach to the caller's span (core's per-partition
+	// BAD span) or open a root span when predicting standalone.
+	sp := cfg.Span
+	ownSpan := false
+	if sp == nil && cfg.Trace.Enabled() {
+		sp = cfg.Trace.Span("Predict", obs.F("graph", g.Name))
+		ownSpan = true
+	}
+	defer cfg.Metrics.Timer("bad.predict_us")()
+
 	dpNS := cfg.Clocks.DatapathNS()
 	res := Result{}
 	seen := make(map[string]bool)
 	for _, set := range sets {
+		setStart := res.Total
 		cycles, usable := opCycles(set, cfg.Style, dpNS)
 		if !usable {
+			if sp != nil {
+				sp.Point("moduleset", obs.F("id", set.ID()), obs.F("skipped", "too-slow"))
+			}
 			continue // single-cycle style with a module slower than the cycle
 		}
 		prob := sched.Problem{
@@ -252,6 +274,9 @@ func Predict(g *dfg.Graph, cfg Config) (Result, error) {
 		}
 		minLat, err := sched.CriticalCycles(prob)
 		if err != nil {
+			if ownSpan {
+				sp.End(obs.F("error", err.Error()))
+			}
 			return Result{}, err
 		}
 		serial := serialLatency(g, cycles)
@@ -305,6 +330,10 @@ func Predict(g *dfg.Graph, cfg Config) (Result, error) {
 				admit(&res, seen, d, cfg)
 			}
 		}
+		if sp != nil {
+			sp.Point("moduleset", obs.F("id", set.ID()),
+				obs.F("designs", res.Total-setStart))
+		}
 	}
 	if !cfg.KeepAll {
 		res.Designs = paretoFilter(res.Designs)
@@ -315,6 +344,15 @@ func Predict(g *dfg.Graph, cfg Config) (Result, error) {
 		if Feasible(d, cfg) {
 			res.Feasible++
 		}
+	}
+	if m := cfg.Metrics; m != nil {
+		m.Add("bad.designs_total", int64(res.Total))
+		m.Add("bad.designs_unique", int64(res.Unique))
+		m.Add("bad.designs_kept", int64(len(res.Designs)))
+	}
+	if ownSpan {
+		sp.End(obs.F("total", res.Total), obs.F("unique", res.Unique),
+			obs.F("kept", len(res.Designs)), obs.F("feasible", res.Feasible))
 	}
 	return res, nil
 }
@@ -329,6 +367,9 @@ func admit(res *Result, seen map[string]bool, d Design, cfg Config) {
 	if !cfg.KeepAll {
 		// Level-1 prune: discard immediately if clearly infeasible.
 		if !Feasible(d, cfg) {
+			if cfg.Metrics != nil {
+				cfg.Metrics.Inc("bad.pruned_level1")
+			}
 			return
 		}
 	}

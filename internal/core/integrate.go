@@ -2,12 +2,66 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"chop/internal/bad"
+	"chop/internal/obs"
 	"chop/internal/stats"
 	"chop/internal/urgency"
 	"chop/internal/xfer"
 )
+
+// Reason classifies why an integration was rejected: the machine-readable
+// companion of GlobalDesign.Reason, driving the rejection histograms of
+// the observability layer and `chop explain`. ReasonNone marks feasible
+// designs.
+type Reason int
+
+// Rejection reasons, in the order the feasibility checks run.
+const (
+	ReasonNone         Reason = iota
+	ReasonRateMismatch        // pipelined data rate differs from the system interval
+	ReasonNoPins              // a transfer has no pins available at all
+	ReasonDataClash           // a transfer outlasts the initiation interval (paper 2.5)
+	ReasonPinBandwidth        // steady-state pin-cycles exceed a chip's budget
+	ReasonMemBandwidth        // a memory block's bandwidth is exceeded
+	ReasonSchedule            // urgency scheduling failed
+	ReasonPins                // a chip needs more pins than its package has
+	ReasonArea                // a chip's area exceeds the usable package area
+	ReasonPerf                // system initiation interval violates the Perf bound
+	ReasonDelay               // system delay violates the Delay bound
+	ReasonPower               // system power violates the Power bound
+)
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "ok"
+	case ReasonRateMismatch:
+		return "rate-mismatch"
+	case ReasonNoPins:
+		return "no-pins"
+	case ReasonDataClash:
+		return "data-clash"
+	case ReasonPinBandwidth:
+		return "pin-bandwidth"
+	case ReasonMemBandwidth:
+		return "mem-bandwidth"
+	case ReasonSchedule:
+		return "schedule"
+	case ReasonPins:
+		return "pins"
+	case ReasonArea:
+		return "area"
+	case ReasonPerf:
+		return "perf"
+	case ReasonDelay:
+		return "delay"
+	case ReasonPower:
+		return "power"
+	}
+	return fmt.Sprintf("Reason(%d)", int(r))
+}
 
 // GlobalDesign is one integrated implementation of the whole partitioning:
 // one predicted design per partition plus the predicted data-transfer
@@ -38,6 +92,12 @@ type GlobalDesign struct {
 	// first violated check otherwise.
 	Feasible bool
 	Reason   string
+	// ReasonCode classifies the violated check and ReasonChip attributes
+	// it to a 0-based chip index for chip-specific reasons (area, pins,
+	// pin bandwidth); ReasonChip is -1 when the rejection is not tied to
+	// one chip (or the design is feasible).
+	ReasonCode Reason
+	ReasonChip int
 	// AreaViolations lists the chips whose area constraint failed; the
 	// iterative heuristic serializes partitions on exactly these chips
 	// (paper Fig. 5).
@@ -146,6 +206,43 @@ func selectionOK(d bad.Design, l int, clocks bad.Clocks) bool {
 	return ii <= l
 }
 
+// evalTrial wraps integrate with per-trial observability: a child span, a
+// "trial" point event carrying the feasibility outcome, the rejection
+// reason and its chip attribution, and metrics counters/latency. With both
+// tracing and metrics disabled it adds only two nil checks, so the search
+// hot path is unaffected by default.
+func (it *integrator) evalTrial(sp *obs.Span, choice []bad.Design, l int) (GlobalDesign, error) {
+	m := it.cfg.Metrics
+	if sp == nil && m == nil {
+		return it.integrate(choice, l)
+	}
+	tsp := sp.Child("integrate", obs.F("ii", l))
+	t0 := time.Now()
+	g, err := it.integrate(choice, l)
+	elapsed := time.Since(t0)
+	tsp.End(obs.F("feasible", g.Feasible), obs.F("reason", g.ReasonCode.String()))
+	if sp != nil {
+		fields := []obs.Field{obs.F("ii", l), obs.F("feasible", g.Feasible)}
+		if !g.Feasible {
+			fields = append(fields, obs.F("reason", g.ReasonCode.String()))
+			if g.ReasonChip >= 0 {
+				fields = append(fields, obs.F("chip", g.ReasonChip+1))
+			}
+		}
+		sp.Point("trial", fields...)
+	}
+	if m != nil {
+		m.Inc("core.trials")
+		m.Observe("core.integrate_us", float64(elapsed.Nanoseconds())/1e3)
+		if g.Feasible {
+			m.Inc("core.trials_feasible")
+		} else {
+			m.Inc("core.reject." + g.ReasonCode.String())
+		}
+	}
+	return g, err
+}
+
 // integrate evaluates one combination of partition designs at system
 // initiation interval l (main-clock cycles). It always returns a
 // GlobalDesign; infeasibility is reported in Feasible/Reason. A returned
@@ -178,9 +275,13 @@ func (it *integrator) integrate(choice []bad.Design, l int) (GlobalDesign, error
 // bandwidth).
 func (it *integrator) integrateBus(choice []bad.Design, l, busCap int) (GlobalDesign, error) {
 	p, cfg := it.p, it.cfg
-	g := GlobalDesign{Choice: choice, IIMain: l}
-	infeasible := func(format string, args ...any) (GlobalDesign, error) {
+	g := GlobalDesign{Choice: choice, IIMain: l, ReasonChip: -1}
+	// infeasible finalizes a rejection: chip is the 0-based chip the
+	// violated check is tied to, or -1 for system-wide reasons.
+	infeasible := func(code Reason, chip int, format string, args ...any) (GlobalDesign, error) {
 		g.Feasible = false
+		g.ReasonCode = code
+		g.ReasonChip = chip
 		g.Reason = fmt.Sprintf(format, args...)
 		return g, nil
 	}
@@ -189,7 +290,7 @@ func (it *integrator) integrateBus(choice []bad.Design, l, busCap int) (GlobalDe
 	}
 	for pi, d := range choice {
 		if !selectionOK(d, l, cfg.Clocks) {
-			return infeasible("partition %d data rate mismatch (II %d vs system %d)",
+			return infeasible(ReasonRateMismatch, -1, "partition %d data rate mismatch (II %d vs system %d)",
 				pi+1, d.IIMainCycles(cfg.Clocks), l)
 		}
 	}
@@ -205,7 +306,7 @@ func (it *integrator) integrateBus(choice []bad.Design, l, busCap int) (GlobalDe
 	for i, t := range it.tasks {
 		bwMax := xfer.Bandwidth(t, it.budget)
 		if bwMax <= 0 && t.Bits > 0 {
-			return infeasible("transfer %s has no pins available", t.Name)
+			return infeasible(ReasonNoPins, -1, "transfer %s has no pins available", t.Name)
 		}
 		bus := bwMax
 		if busCap > 0 && busCap < bus {
@@ -224,7 +325,7 @@ func (it *integrator) integrateBus(choice []bad.Design, l, busCap int) (GlobalDe
 			if need > bwMax {
 				// Data clash: a transfer longer than the initiation
 				// interval collides with the next sample (paper 2.5).
-				return infeasible("transfer %s takes %d cycles, exceeding interval %d (data clash)",
+				return infeasible(ReasonDataClash, -1, "transfer %s takes %d cycles, exceeding interval %d (data clash)",
 					t.Name, xm, l)
 			}
 			bus = need
@@ -249,7 +350,7 @@ func (it *integrator) integrateBus(choice []bad.Design, l, busCap int) (GlobalDe
 			}
 		}
 		if demand > it.budget[ci]*l {
-			return infeasible("chip %d pin bandwidth exceeded (%d pin-cycles > %d x %d)",
+			return infeasible(ReasonPinBandwidth, ci, "chip %d pin bandwidth exceeded (%d pin-cycles > %d x %d)",
 				ci+1, demand, it.budget[ci], l)
 		}
 	}
@@ -264,7 +365,7 @@ func (it *integrator) integrateBus(choice []bad.Design, l, busCap int) (GlobalDe
 		}
 		capacity := blk.BandwidthPerCycle(cfg.Clocks.MainNS) * l
 		if bits > capacity {
-			return infeasible("memory %s bandwidth exceeded (%d bits per interval > %d)",
+			return infeasible(ReasonMemBandwidth, -1, "memory %s bandwidth exceeded (%d bits per interval > %d)",
 				blk.Name, bits, capacity)
 		}
 	}
@@ -312,9 +413,13 @@ func (it *integrator) integrateBus(choice []bad.Design, l, busCap int) (GlobalDe
 		}
 		utasks[nP+i] = ut
 	}
-	sres, err := urgency.Schedule(utasks, caps)
+	sres, sstats, err := urgency.ScheduleStats(utasks, caps)
 	if err != nil {
-		return infeasible("task scheduling failed: %v", err)
+		return infeasible(ReasonSchedule, -1, "task scheduling failed: %v", err)
+	}
+	if m := cfg.Metrics; m != nil {
+		m.Observe("core.urgency_tasks", float64(sstats.Tasks))
+		m.Observe("core.urgency_cycles", float64(sstats.Cycles))
 	}
 	g.DelayMain = sres.Makespan
 	for i, ut := range utasks {
@@ -408,7 +513,7 @@ func (it *integrator) integrateBus(choice []bad.Design, l, busCap int) (GlobalDe
 	// ---- feasibility analysis (paper section 2.6) ----
 	for ci, ch := range p.Chips.Chips {
 		if g.ChipPins[ci] > ch.Pkg.Pins {
-			return infeasible("chip %d needs %d pins (package has %d)",
+			return infeasible(ReasonPins, ci, "chip %d needs %d pins (package has %d)",
 				ci+1, g.ChipPins[ci], ch.Pkg.Pins)
 		}
 		usable := ch.Pkg.UsableArea(g.ChipPins[ci])
@@ -419,17 +524,17 @@ func (it *integrator) integrateBus(choice []bad.Design, l, busCap int) (GlobalDe
 	if len(g.AreaViolations) > 0 {
 		ci := g.AreaViolations[0]
 		usable := p.Chips.Chips[ci].Pkg.UsableArea(g.ChipPins[ci])
-		return infeasible("chip %d area %.0f exceeds usable %.0f",
+		return infeasible(ReasonArea, ci, "chip %d area %.0f exceeds usable %.0f",
 			ci+1, g.ChipArea[ci].Hi, usable)
 	}
 	if b := cfg.Constraints.Perf; b.Bound > 0 && !b.Satisfied(g.PerfNS) {
-		return infeasible("performance %.0f ns violates bound %.0f", g.PerfNS.Hi, b.Bound)
+		return infeasible(ReasonPerf, -1, "performance %.0f ns violates bound %.0f", g.PerfNS.Hi, b.Bound)
 	}
 	if b := cfg.Constraints.Delay; b.Bound > 0 && !b.Satisfied(g.DelayNS) {
-		return infeasible("system delay %.0f ns violates bound %.0f", g.DelayNS.Mean(), b.Bound)
+		return infeasible(ReasonDelay, -1, "system delay %.0f ns violates bound %.0f", g.DelayNS.Mean(), b.Bound)
 	}
 	if b := cfg.Constraints.Power; b.Bound > 0 && !b.Satisfied(g.Power) {
-		return infeasible("power %.0f mW violates bound %.0f", g.Power.Mean(), b.Bound)
+		return infeasible(ReasonPower, -1, "power %.0f mW violates bound %.0f", g.Power.Mean(), b.Bound)
 	}
 	g.Feasible = true
 	return g, nil

@@ -14,6 +14,7 @@ import (
 	"chop/internal/dfg"
 	"chop/internal/lib"
 	"chop/internal/mem"
+	"chop/internal/obs"
 	"chop/internal/stats"
 )
 
@@ -195,6 +196,19 @@ type Config struct {
 	// words. The bus widens past the cap only when the data-clash bound
 	// requires it.
 	MaxBusPins int
+	// MaxCombinations caps the explicit enumeration heuristic's
+	// combination count; 0 keeps the default guard of 5,000,000.
+	MaxCombinations int
+	// Trace receives hierarchical timed spans (Run → PredictPartitions →
+	// per-partition BAD → Search → per-trial integrate) and structured
+	// events (trial examined with its rejection reason, pruning decision,
+	// Figure-5 serialization step). Nil — the default — disables tracing
+	// at near-zero cost.
+	Trace *obs.Tracer
+	// Metrics receives counters and latency histograms (trials by
+	// rejection reason, integrate latency, urgency scheduling effort,
+	// designs per partition). Nil disables metrics collection.
+	Metrics *obs.Metrics
 }
 
 // defaultBusPins is two 16-bit datapath words.
@@ -218,6 +232,8 @@ func (c Config) badConfig(chips chip.Set) bad.Config {
 		Perf:    c.Constraints.Perf,
 		Delay:   c.Constraints.Delay,
 		KeepAll: c.KeepAll,
+		Trace:   c.Trace,
+		Metrics: c.Metrics,
 	}
 }
 
@@ -225,20 +241,38 @@ func (c Config) badConfig(chips chip.Set) bad.Config {
 // paper's method, section 2.4) and returns the per-partition prediction
 // results, fastest-first. Level-1 pruning is applied unless cfg.KeepAll.
 func PredictPartitions(p *Partitioning, cfg Config) ([]bad.Result, error) {
+	return predictPartitions(p, cfg, nil)
+}
+
+// predictPartitions is PredictPartitions with an optional parent span, so
+// the prediction stage nests under Run when reached through it.
+func predictPartitions(p *Partitioning, cfg Config, parent *obs.Span) ([]bad.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	sp := obs.SpanUnder(cfg.Trace, parent, "PredictPartitions",
+		obs.F("partitions", len(p.Parts)))
+	defer cfg.Metrics.Timer("core.predict_partitions_us")()
 	subs := p.Subgraphs()
 	out := make([]bad.Result, len(subs))
 	for i, sub := range subs {
-		r, err := bad.Predict(sub, cfg.badConfig(p.Chips))
+		bc := cfg.badConfig(p.Chips)
+		psp := sp.Child("BAD", obs.F("partition", i+1), obs.F("nodes", len(sub.Nodes)))
+		bc.Span = psp
+		r, err := bad.Predict(sub, bc)
 		if err != nil {
+			psp.End(obs.F("error", err.Error()))
+			sp.End()
 			return nil, fmt.Errorf("partition %d: %w", i+1, err)
 		}
+		psp.End(obs.F("total", r.Total), obs.F("unique", r.Unique),
+			obs.F("kept", len(r.Designs)), obs.F("feasible", r.Feasible))
+		cfg.Metrics.Observe("core.designs_per_partition", float64(len(r.Designs)))
 		// An empty design list is level-1 feedback, not an error: no
 		// implementation of this partition can meet the constraints, so
 		// the search will simply find nothing.
 		out[i] = r
 	}
+	sp.End()
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"chop/internal/bad"
+	"chop/internal/obs"
 )
 
 // Heuristic selects the combination-search strategy (paper section 2.4:
@@ -23,10 +24,13 @@ const (
 )
 
 func (h Heuristic) String() string {
-	if h == Iterative {
+	switch h {
+	case Enumeration:
+		return "E"
+	case Iterative:
 		return "I"
 	}
-	return "E"
+	return fmt.Sprintf("Heuristic(%d)", int(h))
 }
 
 // SpacePoint is one explored global design point, recorded when pruning is
@@ -51,12 +55,27 @@ type SearchResult struct {
 	Space []SpacePoint
 }
 
-// maxCombinations guards the explicit enumeration against explosive inputs.
+// maxCombinations is the default guard of the explicit enumeration against
+// explosive inputs; override with Config.MaxCombinations.
 const maxCombinations = 5_000_000
+
+// combinationLimit resolves the enumeration guard for a run.
+func combinationLimit(cfg Config) int {
+	if cfg.MaxCombinations > 0 {
+		return cfg.MaxCombinations
+	}
+	return maxCombinations
+}
 
 // Search runs the selected heuristic over per-partition predictions
 // produced by PredictPartitions.
 func Search(p *Partitioning, cfg Config, preds []bad.Result, h Heuristic) (SearchResult, error) {
+	return search(p, cfg, preds, h, nil)
+}
+
+// search is Search with an optional parent span, so the stage nests under
+// Run when reached through it.
+func search(p *Partitioning, cfg Config, preds []bad.Result, h Heuristic, parent *obs.Span) (SearchResult, error) {
 	it, err := newIntegrator(p, cfg)
 	if err != nil {
 		return SearchResult{}, err
@@ -65,40 +84,56 @@ func Search(p *Partitioning, cfg Config, preds []bad.Result, h Heuristic) (Searc
 	for i, r := range preds {
 		lists[i] = r.Designs
 	}
+	sp := obs.SpanUnder(cfg.Trace, parent, "Search", obs.F("heuristic", h.String()))
+	defer cfg.Metrics.Timer("core.search_us")()
+	var res SearchResult
 	switch h {
 	case Enumeration:
-		return enumerate(it, cfg, lists)
+		res, err = enumerate(it, cfg, lists, sp)
 	case Iterative:
-		return iterative(it, cfg, lists)
+		res, err = iterative(it, cfg, lists, sp)
 	default:
+		sp.End(obs.F("error", "unknown heuristic"))
 		return SearchResult{}, fmt.Errorf("core: unknown heuristic %d", h)
 	}
+	sp.End(obs.F("trials", res.Trials), obs.F("feasible", res.FeasibleTrials),
+		obs.F("best", len(res.Best)))
+	return res, err
 }
 
 // Run is the convenience entry point: predict every partition with BAD,
 // then search with the chosen heuristic. It returns both the search result
 // and the per-partition prediction statistics (paper Tables 3/5).
 func Run(p *Partitioning, cfg Config, h Heuristic) (SearchResult, []bad.Result, error) {
-	preds, err := PredictPartitions(p, cfg)
+	fields := []obs.Field{obs.F("heuristic", h.String()), obs.F("partitions", len(p.Parts))}
+	if p.Graph != nil {
+		fields = append(fields, obs.F("graph", p.Graph.Name))
+	}
+	root := cfg.Trace.Span("Run", fields...)
+	defer root.End()
+	defer cfg.Metrics.Timer("core.run_us")()
+	preds, err := predictPartitions(p, cfg, root)
 	if err != nil {
 		return SearchResult{}, nil, err
 	}
-	res, err := Search(p, cfg, preds, h)
+	res, err := search(p, cfg, preds, h, root)
 	return res, preds, err
 }
 
-func enumerate(it *integrator, cfg Config, lists [][]bad.Design) (SearchResult, error) {
+func enumerate(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (SearchResult, error) {
 	res := SearchResult{Heuristic: Enumeration}
+	limit := combinationLimit(cfg)
 	total := 1
-	for _, l := range lists {
+	for li, l := range lists {
 		if len(l) == 0 {
 			// A partition without viable predictions makes every
 			// combination infeasible: nothing to search.
 			return res, nil
 		}
-		if total > maxCombinations/len(l) {
-			return res, fmt.Errorf("core: enumeration space exceeds %d combinations; enable pruning",
-				maxCombinations)
+		if total > limit/len(l) {
+			return res, fmt.Errorf(
+				"core: enumeration space exceeds %d combinations (at least %d after %d of %d partitions); enable pruning or raise Config.MaxCombinations",
+				limit, int64(total)*int64(len(l)), li+1, len(lists))
 		}
 		total *= len(l)
 	}
@@ -117,11 +152,11 @@ func enumerate(it *integrator, cfg Config, lists [][]bad.Design) (SearchResult, 
 			}
 		}
 		res.Trials++
-		g, err := it.integrate(cloneChoice(choice), l)
+		g, err := it.evalTrial(sp, cloneChoice(choice), l)
 		if err != nil {
 			return res, err
 		}
-		record(&res, cfg, g)
+		record(&res, cfg, g, sp)
 		// odometer
 		i := len(idx) - 1
 		for ; i >= 0; i-- {
@@ -140,7 +175,7 @@ func enumerate(it *integrator, cfg Config, lists [][]bad.Design) (SearchResult, 
 }
 
 // iterative implements the paper's Figure 5 algorithm.
-func iterative(it *integrator, cfg Config, lists [][]bad.Design) (SearchResult, error) {
+func iterative(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (SearchResult, error) {
 	res := SearchResult{Heuristic: Iterative}
 	for _, l := range lists {
 		if len(l) == 0 {
@@ -202,11 +237,11 @@ func iterative(it *integrator, cfg Config, lists [][]bad.Design) (SearchResult, 
 				choice[i] = lists[i][w[i]]
 			}
 			res.Trials++
-			g, err := it.integrate(choice, l)
+			g, err := it.evalTrial(sp, choice, l)
 			if err != nil {
 				return res, err
 			}
-			record(&res, cfg, g)
+			record(&res, cfg, g, sp)
 			if g.Feasible {
 				break // Q := nil
 			}
@@ -230,17 +265,26 @@ func iterative(it *integrator, cfg Config, lists [][]bad.Design) (SearchResult, 
 				}
 				trial[pi] = lists[pi][ni]
 				res.Trials++
-				tg, err := it.integrate(trial, l)
+				tg, err := it.evalTrial(sp, trial, l)
 				if err != nil {
 					return res, err
 				}
-				record(&res, cfg, tg)
+				record(&res, cfg, tg, sp)
 				if bestQ < 0 || tg.DelayMain < bestDelay {
 					bestQ, bestDelay = pi, tg.DelayMain
 				}
 			}
 			if bestQ < 0 {
 				break // no partition can be serialized further
+			}
+			// The Figure-5 serialization step: slow down bestQ's partition
+			// to shrink its area footprint on the violating chip.
+			if sp != nil {
+				sp.Point("serialize", obs.F("ii", l),
+					obs.F("partition", bestQ+1), obs.F("delay", bestDelay))
+			}
+			if cfg.Metrics != nil {
+				cfg.Metrics.Inc("core.serializations")
 			}
 			w[bestQ] = nextValid(lists[bestQ], w[bestQ], l, cfg)
 		}
@@ -284,10 +328,13 @@ func cloneChoice(c []bad.Design) []bad.Design {
 
 // record books a trial into the search result, applying level-2 pruning:
 // infeasible global predictions are discarded immediately unless KeepAll.
-func record(res *SearchResult, cfg Config, g GlobalDesign) {
+// The pruning decision is emitted as a trace event when tracing is on.
+func record(res *SearchResult, cfg Config, g GlobalDesign, sp *obs.Span) {
 	if g.Feasible {
 		res.FeasibleTrials++
 		res.Best = append(res.Best, g)
+	} else if sp != nil && !cfg.KeepAll {
+		sp.Point("prune", obs.F("reason", g.ReasonCode.String()))
 	}
 	// Early-rejected combinations (rate mismatch, data clash) never reach
 	// the area/delay predictions and contribute no point to the figures.

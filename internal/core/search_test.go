@@ -1,11 +1,14 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"chop/internal/bad"
 	"chop/internal/chip"
 	"chop/internal/dfg"
+	"chop/internal/obs"
+	"chop/internal/stats"
 )
 
 func TestRunBothHeuristicsAgreeOnBestII(t *testing.T) {
@@ -205,6 +208,136 @@ func TestSearchEmptyDesignList(t *testing.T) {
 func TestHeuristicString(t *testing.T) {
 	if Enumeration.String() != "E" || Iterative.String() != "I" {
 		t.Fatal("heuristic labels must match the paper's table notation")
+	}
+	// Out-of-range values must stringify distinctly, not collapse onto one
+	// of the real heuristics or each other.
+	if got := Heuristic(42).String(); got != "Heuristic(42)" {
+		t.Fatalf("Heuristic(42).String() = %q", got)
+	}
+	if Heuristic(7).String() == Heuristic(8).String() {
+		t.Fatal("distinct unknown heuristics must have distinct strings")
+	}
+}
+
+func TestMaxCombinationsGuard(t *testing.T) {
+	p := arPartitioning(t, 2, 1)
+	cfg := exp1Config()
+	preds, err := PredictPartitions(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 1
+	for _, r := range preds {
+		if len(r.Designs) == 0 {
+			t.Fatal("need non-empty prediction lists")
+		}
+		total *= len(r.Designs)
+	}
+	if total < 2 {
+		t.Fatalf("space too small to test the guard: %d", total)
+	}
+	// A cap below the space must abort the enumeration with a message
+	// naming the cap, the partial combination count, and the remedy.
+	cfg.MaxCombinations = total - 1
+	_, err = Search(p, cfg, preds, Enumeration)
+	if err == nil {
+		t.Fatalf("cap %d below space %d accepted", total-1, total)
+	}
+	for _, want := range []string{"exceeds", "Config.MaxCombinations", "combinations"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("guard error %q misses %q", err, want)
+		}
+	}
+	// A cap equal to the space must let the search through, and the
+	// iterative heuristic must ignore the cap entirely.
+	cfg.MaxCombinations = total
+	if _, err := Search(p, cfg, preds, Enumeration); err != nil {
+		t.Fatalf("cap == space rejected: %v", err)
+	}
+	cfg.MaxCombinations = 1
+	if _, err := Search(p, cfg, preds, Iterative); err != nil {
+		t.Fatalf("iterative heuristic hit the enumeration cap: %v", err)
+	}
+}
+
+func TestRecordKeepAllSpacePoints(t *testing.T) {
+	cfg := Config{KeepAll: true}
+	var res SearchResult
+	area := []stats.Triplet{{Lo: 8, ML: 10, Hi: 12}}
+	feasible := GlobalDesign{
+		Feasible: true, IIMain: 4, DelayMain: 9,
+		ChipArea: area, DelayNS: stats.Triplet{ML: 2700},
+	}
+	infeasible := GlobalDesign{
+		Feasible: false, IIMain: 3, DelayMain: 7,
+		ChipArea: area, DelayNS: stats.Triplet{ML: 2100},
+	}
+	// Early-rejected combination (rate mismatch / data clash): integration
+	// never predicted areas, so it contributes no space point.
+	early := GlobalDesign{Feasible: false, ReasonCode: ReasonRateMismatch}
+	record(&res, cfg, feasible, nil)
+	record(&res, cfg, infeasible, nil)
+	record(&res, cfg, early, nil)
+	if res.FeasibleTrials != 1 || len(res.Best) != 1 {
+		t.Fatalf("feasible bookkeeping: %d trials, %d best", res.FeasibleTrials, len(res.Best))
+	}
+	if len(res.Space) != 2 {
+		t.Fatalf("space points = %d, want 2 (early reject must not record)", len(res.Space))
+	}
+	if !res.Space[0].Feasible || res.Space[1].Feasible {
+		t.Fatalf("space feasibility flags wrong: %+v", res.Space)
+	}
+	if res.Space[0].AreaML != 10 || res.Space[0].IIMain != 4 || res.Space[0].DelayNS != 2700 {
+		t.Fatalf("space point fields wrong: %+v", res.Space[0])
+	}
+}
+
+func TestRecordEmitsPruneEvents(t *testing.T) {
+	// With pruning active (no KeepAll) and tracing on, each discarded
+	// trial must surface as a "prune" point carrying its reason.
+	cs := obs.NewCountingSink()
+	tr := obs.New(cs)
+	sp := tr.Span("Search")
+	var res SearchResult
+	record(&res, Config{}, GlobalDesign{Feasible: false, ReasonCode: ReasonArea}, sp)
+	record(&res, Config{}, GlobalDesign{Feasible: true}, sp)
+	sp.End()
+	if got := cs.Count(obs.KindPoint, "prune"); got != 1 {
+		t.Fatalf("prune points = %d, want 1", got)
+	}
+	// KeepAll retains everything, so nothing is pruned (or reported as such).
+	cs2 := obs.NewCountingSink()
+	sp2 := obs.New(cs2).Span("Search")
+	var res2 SearchResult
+	record(&res2, Config{KeepAll: true}, GlobalDesign{Feasible: false}, sp2)
+	sp2.End()
+	if got := cs2.Count(obs.KindPoint, "prune"); got != 0 {
+		t.Fatalf("KeepAll emitted %d prune points", got)
+	}
+}
+
+func TestFinishSearchNonInferior(t *testing.T) {
+	gd := func(ii, delay int) GlobalDesign {
+		return GlobalDesign{Feasible: true, IIMain: ii, DelayMain: delay}
+	}
+	res := SearchResult{Best: []GlobalDesign{
+		gd(4, 10),
+		gd(4, 10), // exact tie: dominated by its twin, only one survives
+		gd(4, 12), // dominated at equal II
+		gd(5, 8),
+		gd(6, 8), // delay tie at higher II: dominated
+		gd(3, 20),
+	}}
+	finishSearch(&res)
+	want := [][2]int{{3, 20}, {4, 10}, {5, 8}}
+	if len(res.Best) != len(want) {
+		t.Fatalf("kept %d designs, want %d: %+v", len(res.Best), len(want), res.Best)
+	}
+	for i, w := range want {
+		if res.Best[i].IIMain != w[0] || res.Best[i].DelayMain != w[1] {
+			t.Fatalf("kept[%d] = (%d,%d), want (%d,%d)",
+				i, res.Best[i].IIMain, res.Best[i].DelayMain, w[0], w[1])
+		}
 	}
 }
 

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Metrics is a concurrency-safe counter and histogram registry. A nil
+// *Metrics is valid and drops every update, so instrumented code needs no
+// enabled-checks outside hot loops. The zero value is ready to use.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	hists    map[string]*hist
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Inc adds 1 to the named counter.
+func (m *Metrics) Inc(name string) { m.Add(name, 1) }
+
+// Add adds delta to the named counter.
+func (m *Metrics) Add(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.counters == nil {
+		m.counters = make(map[string]int64)
+	}
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Counter returns the current value of a counter (0 if absent).
+func (m *Metrics) Counter(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Observe records one sample into the named histogram. Samples are
+// unitless; by convention the pipeline uses "_us" name suffixes for
+// microsecond latencies.
+func (m *Metrics) Observe(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.hists == nil {
+		m.hists = make(map[string]*hist)
+	}
+	h := m.hists[name]
+	if h == nil {
+		h = &hist{}
+		m.hists[name] = h
+	}
+	h.observe(v)
+	m.mu.Unlock()
+}
+
+// Timer starts a latency measurement; calling the returned function
+// observes the elapsed time in microseconds on the named histogram:
+//
+//	defer m.Timer("core.search_us")()
+func (m *Metrics) Timer(name string) func() {
+	if m == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { m.Observe(name, float64(time.Since(t0).Nanoseconds())/1e3) }
+}
+
+// histBuckets is the number of base-2 exponential histogram buckets;
+// bucket b holds samples in (2^(b-1), 2^b], bucket 0 holds v <= 1.
+const histBuckets = 64
+
+type hist struct {
+	count    int64
+	sum      float64
+	min, max float64
+	buckets  [histBuckets]int64
+}
+
+func (h *hist) observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+func bucketOf(v float64) int {
+	if !(v > 1) { // also catches NaN
+		return 0
+	}
+	b := int(math.Ceil(math.Log2(v)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// quantile estimates the q-quantile (0..1) from the bucket counts as the
+// upper bound of the bucket holding the q-th sample.
+func (h *hist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen int64
+	for b, c := range h.buckets {
+		seen += c
+		if seen > rank {
+			up := math.Exp2(float64(b))
+			if up > h.max {
+				up = h.max
+			}
+			if up < h.min {
+				up = h.min
+			}
+			return up
+		}
+	}
+	return h.max
+}
+
+// HistSnapshot is the exported state of one histogram.
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of the whole registry.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry. Safe to call on a nil registry (returns an
+// empty snapshot).
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Histograms: make(map[string]HistSnapshot),
+	}
+	if m == nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range m.counters {
+		s.Counters[k] = v
+	}
+	for k, h := range m.hists {
+		hs := HistSnapshot{
+			Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+			P50: h.quantile(0.50), P90: h.quantile(0.90), P99: h.quantile(0.99),
+		}
+		if h.count > 0 {
+			hs.Mean = h.sum / float64(h.count)
+		}
+		s.Histograms[k] = hs
+	}
+	return s
+}
+
+// Text renders the registry as an aligned, sorted plain-text dump.
+func (m *Metrics) Text() string {
+	s := m.Snapshot()
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		names := make([]string, 0, len(s.Counters))
+		for k := range s.Counters {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Fprintf(&b, "  %-36s %12d\n", k, s.Counters[k])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("histograms:\n")
+		names := make([]string, 0, len(s.Histograms))
+		for k := range s.Histograms {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			h := s.Histograms[k]
+			fmt.Fprintf(&b, "  %-36s count=%d mean=%.1f min=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
+				k, h.Count, h.Mean, h.Min, h.P50, h.P90, h.P99, h.Max)
+		}
+	}
+	if b.Len() == 0 {
+		return "no metrics recorded\n"
+	}
+	return b.String()
+}
+
+// JSON renders the registry snapshot as indented JSON.
+func (m *Metrics) JSON() ([]byte, error) {
+	return json.MarshalIndent(m.Snapshot(), "", "  ")
+}

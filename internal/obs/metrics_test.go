@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilMetricsIsNoOp(t *testing.T) {
+	var m *Metrics
+	m.Inc("a")
+	m.Add("a", 5)
+	m.Observe("h", 1.5)
+	m.Timer("t")()
+	if got := m.Counter("a"); got != 0 {
+		t.Fatalf("nil metrics counter = %d", got)
+	}
+	s := m.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil metrics snapshot not empty: %+v", s)
+	}
+	if m.Text() == "" {
+		t.Fatal("nil metrics Text empty")
+	}
+}
+
+func TestCountersAndHistograms(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("core.trials")
+	m.Add("core.trials", 4)
+	for _, v := range []float64{1, 2, 4, 8, 100} {
+		m.Observe("integrate_us", v)
+	}
+	if got := m.Counter("core.trials"); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	s := m.Snapshot()
+	h, ok := s.Histograms["integrate_us"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if h.Count != 5 || h.Min != 1 || h.Max != 100 || h.Sum != 115 {
+		t.Fatalf("histogram stats wrong: %+v", h)
+	}
+	if h.Mean != 23 {
+		t.Fatalf("mean = %v, want 23", h.Mean)
+	}
+	if h.P50 < 2 || h.P50 > 8 {
+		t.Fatalf("p50 = %v, expected within [2, 8]", h.P50)
+	}
+	if h.P99 != 100 {
+		t.Fatalf("p99 = %v, want 100 (clamped to max)", h.P99)
+	}
+
+	text := m.Text()
+	if !strings.Contains(text, "core.trials") || !strings.Contains(text, "integrate_us") {
+		t.Fatalf("text dump missing entries:\n%s", text)
+	}
+	js, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatalf("JSON dump not parseable: %v", err)
+	}
+	if back.Counters["core.trials"] != 5 {
+		t.Fatalf("JSON roundtrip lost counter: %+v", back)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v float64
+		b int
+	}{
+		{-3, 0}, {0, 0}, {0.5, 0}, {1, 0}, {1.5, 1}, {2, 1}, {3, 2}, {4, 2},
+		{1024, 10}, {1e30, 63}, {1e300, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.b {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.v, got, c.b)
+		}
+	}
+}
+
+// TestMetricsRace exercises the registry from many goroutines; run with
+// -race (the CI target does) to verify the locking.
+func TestMetricsRace(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				m.Inc("shared")
+				m.Observe("lat", float64(j%32))
+				if j%100 == 0 {
+					_ = m.Snapshot()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := m.Counter("shared"); got != 4000 {
+		t.Fatalf("shared counter = %d, want 4000", got)
+	}
+	if got := m.Snapshot().Histograms["lat"].Count; got != 4000 {
+		t.Fatalf("lat count = %d, want 4000", got)
+	}
+}

@@ -1,0 +1,245 @@
+// Package obs is the observability layer of the CHOP pipeline: a
+// zero-dependency tracing and metrics substrate threaded through the
+// predictor (bad), the integrator and the search heuristics (core).
+//
+// Tracing is hierarchical: a Tracer produces timed spans
+// (Run → PredictPartitions → per-partition BAD → Search → per-trial
+// integrate) and instantaneous point events (trial examined, pruning
+// decision, Figure-5 serialization step), each carrying structured fields.
+// Events are emitted to a pluggable Sink; the provided WriterSink writes
+// one JSON object per line (JSONL), which Replay turns back into a
+// human-readable report (see replay.go).
+//
+// Everything is nil-safe and off by default: a nil *Tracer (or a nil
+// *Span derived from it) turns every call into an immediate no-op, so
+// instrumented hot paths cost nothing measurable when tracing is
+// disabled. Hot loops additionally guard with explicit nil checks to
+// avoid variadic-argument allocation.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Field is one key/value attribute attached to a span or event.
+type Field struct {
+	Key string
+	Val any
+}
+
+// F builds a Field.
+func F(key string, val any) Field { return Field{Key: key, Val: val} }
+
+// Event kinds.
+const (
+	KindBegin = "begin" // span start
+	KindEnd   = "end"   // span end (carries the duration)
+	KindPoint = "point" // instantaneous event within a span
+)
+
+// Event is one trace record. Events serialize to JSONL via WriterSink and
+// are the unit Replay consumes.
+type Event struct {
+	// TNS is the event time in nanoseconds since the tracer started.
+	TNS int64 `json:"t"`
+	// Kind is KindBegin, KindEnd or KindPoint.
+	Kind string `json:"k"`
+	// Name is the span name (begin/end) or the event name (point).
+	Name string `json:"name"`
+	// Span and Parent identify the span tree; span IDs start at 1 and
+	// Parent 0 marks a root span.
+	Span   int64 `json:"span,omitempty"`
+	Parent int64 `json:"parent,omitempty"`
+	// DurNS is the span duration in nanoseconds (end events only).
+	DurNS int64 `json:"dur,omitempty"`
+	// Fields holds the structured attributes.
+	Fields map[string]any `json:"f,omitempty"`
+}
+
+// Sink receives trace events. Implementations must be safe for concurrent
+// Emit calls.
+type Sink interface{ Emit(Event) }
+
+// WriterSink emits events as JSONL to an io.Writer.
+type WriterSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewWriterSink wraps w. The sink serializes concurrent emits itself; w
+// need not be safe for concurrent use.
+func NewWriterSink(w io.Writer) *WriterSink {
+	return &WriterSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one JSONL record.
+func (s *WriterSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
+// Err reports the first write error, if any.
+func (s *WriterSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// CountingSink counts events without retaining them — useful for tests and
+// for measuring instrumentation volume.
+type CountingSink struct {
+	mu     sync.Mutex
+	total  int
+	byName map[string]int
+}
+
+// NewCountingSink returns an empty counting sink.
+func NewCountingSink() *CountingSink {
+	return &CountingSink{byName: make(map[string]int)}
+}
+
+// Emit counts the event.
+func (s *CountingSink) Emit(ev Event) {
+	s.mu.Lock()
+	s.total++
+	s.byName[ev.Kind+":"+ev.Name]++
+	s.mu.Unlock()
+}
+
+// Total returns the number of events seen.
+func (s *CountingSink) Total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Count returns the number of events of one kind and name (e.g.
+// Count(KindPoint, "trial")).
+func (s *CountingSink) Count(kind, name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byName[kind+":"+name]
+}
+
+// Names returns the distinct kind:name keys seen, sorted.
+func (s *CountingSink) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.byName))
+	for k := range s.byName {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tracer emits hierarchical spans and events to a Sink. A nil *Tracer is
+// valid and disables all tracing.
+type Tracer struct {
+	sink  Sink
+	start time.Time
+	ids   atomic.Int64
+}
+
+// New returns a Tracer emitting to sink, or nil (tracing disabled) when
+// sink is nil.
+func New(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink, start: time.Now()}
+}
+
+// Enabled reports whether the tracer emits anything.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+func (t *Tracer) now() int64 { return time.Since(t.start).Nanoseconds() }
+
+// Span starts a root span. Returns nil (a valid no-op span) when the
+// tracer is disabled.
+func (t *Tracer) Span(name string, fields ...Field) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	return t.newSpan(name, 0, fields)
+}
+
+func (t *Tracer) newSpan(name string, parent int64, fields []Field) *Span {
+	id := t.ids.Add(1)
+	t.sink.Emit(Event{
+		TNS: t.now(), Kind: KindBegin, Name: name,
+		Span: id, Parent: parent, Fields: fieldMap(fields),
+	})
+	return &Span{t: t, id: id, name: name, start: time.Now()}
+}
+
+// SpanUnder starts a span under parent when parent is non-nil, else a root
+// span on t. It lets public entry points create their own root while the
+// same code nests when reached through Run.
+func SpanUnder(t *Tracer, parent *Span, name string, fields ...Field) *Span {
+	if parent != nil {
+		return parent.Child(name, fields...)
+	}
+	return t.Span(name, fields...)
+}
+
+// Span is one timed region of the pipeline. A nil *Span is valid and all
+// its methods no-op.
+type Span struct {
+	t     *Tracer
+	id    int64
+	name  string
+	start time.Time
+}
+
+// Child starts a sub-span.
+func (s *Span) Child(name string, fields ...Field) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(name, s.id, fields)
+}
+
+// Point emits an instantaneous event within the span.
+func (s *Span) Point(name string, fields ...Field) {
+	if s == nil {
+		return
+	}
+	s.t.sink.Emit(Event{
+		TNS: s.t.now(), Kind: KindPoint, Name: name,
+		Span: s.id, Fields: fieldMap(fields),
+	})
+}
+
+// End closes the span, recording its duration. Extra fields (result
+// summaries) are attached to the end event.
+func (s *Span) End(fields ...Field) {
+	if s == nil {
+		return
+	}
+	s.t.sink.Emit(Event{
+		TNS: s.t.now(), Kind: KindEnd, Name: s.name, Span: s.id,
+		DurNS: time.Since(s.start).Nanoseconds(), Fields: fieldMap(fields),
+	})
+}
+
+func fieldMap(fields []Field) map[string]any {
+	if len(fields) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(fields))
+	for _, f := range fields {
+		m[f.Key] = f.Val
+	}
+	return m
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Span("Run", F("k", 1))
+	if sp != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	// All of these must be safe no-ops.
+	child := sp.Child("Search")
+	child.Point("trial", F("feasible", true))
+	child.End()
+	sp.End(F("trials", 3))
+	if got := SpanUnder(tr, nil, "Search"); got != nil {
+		t.Fatal("SpanUnder on nil tracer returned a live span")
+	}
+}
+
+func TestNewNilSinkDisables(t *testing.T) {
+	if tr := New(nil); tr != nil {
+		t.Fatal("New(nil) should return a nil (disabled) tracer")
+	}
+}
+
+func TestWriterSinkEmitsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewWriterSink(&buf)
+	tr := New(sink)
+	root := tr.Span("Run", F("graph", "ar"))
+	search := root.Child("Search", F("heuristic", "I"))
+	search.Point("trial", F("feasible", false), F("reason", "area"), F("chip", 1))
+	search.End(F("trials", 1))
+	root.End()
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 events, got %d: %q", len(lines), buf.String())
+	}
+	var evs []Event
+	for _, l := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(l), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", l, err)
+		}
+		evs = append(evs, ev)
+	}
+	if evs[0].Kind != KindBegin || evs[0].Name != "Run" || evs[0].Parent != 0 {
+		t.Fatalf("unexpected first event %+v", evs[0])
+	}
+	if evs[1].Kind != KindBegin || evs[1].Name != "Search" || evs[1].Parent != evs[0].Span {
+		t.Fatalf("Search span not parented under Run: %+v", evs[1])
+	}
+	if evs[2].Kind != KindPoint || evs[2].Name != "trial" || evs[2].Span != evs[1].Span {
+		t.Fatalf("trial point not attached to Search span: %+v", evs[2])
+	}
+	if evs[2].Fields["reason"] != "area" {
+		t.Fatalf("trial fields lost: %+v", evs[2].Fields)
+	}
+	if evs[3].Kind != KindEnd || evs[3].Name != "Search" {
+		t.Fatalf("expected Search end, got %+v", evs[3])
+	}
+	if f, ok := evs[3].Fields["trials"].(float64); !ok || f != 1 {
+		t.Fatalf("end-event fields lost: %+v", evs[3].Fields)
+	}
+	if evs[4].Kind != KindEnd || evs[4].Name != "Run" || evs[4].DurNS < 0 {
+		t.Fatalf("expected Run end, got %+v", evs[4])
+	}
+}
+
+func TestSpanUnderRootsAndNests(t *testing.T) {
+	sink := NewCountingSink()
+	tr := New(sink)
+	root := SpanUnder(tr, nil, "Search")
+	if root == nil {
+		t.Fatal("SpanUnder with nil parent should root on the tracer")
+	}
+	child := SpanUnder(tr, root, "integrate")
+	child.End()
+	root.End()
+	if got := sink.Count(KindBegin, "integrate"); got != 1 {
+		t.Fatalf("integrate begin count = %d", got)
+	}
+	if got := sink.Total(); got != 4 {
+		t.Fatalf("total events = %d, want 4", got)
+	}
+}
+
+func TestCountingSinkConcurrent(t *testing.T) {
+	sink := NewCountingSink()
+	tr := New(sink)
+	root := tr.Span("Run")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sp := root.Child("integrate")
+				sp.Point("trial", F("feasible", j%2 == 0))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := sink.Count(KindPoint, "trial"); got != 800 {
+		t.Fatalf("trial count = %d, want 800", got)
+	}
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StageStat aggregates all spans of one name in a trace.
+type StageStat struct {
+	Count   int
+	TotalNS int64
+	MaxNS   int64
+}
+
+// Report is the aggregation of one JSONL trace: the data behind the
+// `chop explain` command. Trials counts every "trial" point event, which
+// by construction equals SearchResult.Trials of the traced run.
+type Report struct {
+	// Events is the total number of trace records read.
+	Events int
+	// Stages maps span name -> timing stats (time breakdown per stage).
+	Stages map[string]StageStat
+	// Trials / Feasible count the examined and feasible combinations.
+	Trials, Feasible int
+	// Reasons histograms the rejection reasons over infeasible trials.
+	Reasons map[string]int
+	// ChipReasons attributes chip-specific rejections: 1-based chip
+	// number -> reason -> count. Rejections that are not chip-specific
+	// (rate mismatch, system perf/delay/power, …) appear only in Reasons.
+	ChipReasons map[int]map[string]int
+	// Serializations counts the Figure-5 serialization steps taken and
+	// Pruned the level-2 pruning decisions (infeasible trials dropped).
+	Serializations, Pruned int
+	// Partitions maps 1-based partition number -> kept BAD designs, from
+	// the per-partition BAD span end events.
+	Partitions map[int]int
+}
+
+// Replay parses a JSONL trace (as written by WriterSink) and aggregates it
+// into a Report.
+func Replay(r io.Reader) (*Report, error) {
+	rep := &Report{
+		Stages:      make(map[string]StageStat),
+		Reasons:     make(map[string]int),
+		ChipReasons: make(map[int]map[string]int),
+		Partitions:  make(map[int]int),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	begins := make(map[int64]map[string]any)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		rep.add(ev, begins)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return rep, nil
+}
+
+func (r *Report) add(ev Event, begins map[int64]map[string]any) {
+	r.Events++
+	switch ev.Kind {
+	case KindBegin:
+		// Remember begin-side fields so end events can be attributed
+		// (e.g. which partition a BAD span predicted).
+		if len(ev.Fields) > 0 {
+			begins[ev.Span] = ev.Fields
+		}
+	case KindEnd:
+		st := r.Stages[ev.Name]
+		st.Count++
+		st.TotalNS += ev.DurNS
+		if ev.DurNS > st.MaxNS {
+			st.MaxNS = ev.DurNS
+		}
+		r.Stages[ev.Name] = st
+		if ev.Name == "BAD" {
+			if pi, ok := fieldInt(begins[ev.Span], "partition"); ok {
+				if kept, ok := fieldInt(ev.Fields, "kept"); ok {
+					r.Partitions[pi] = kept
+				}
+			}
+		}
+		delete(begins, ev.Span)
+	case KindPoint:
+		switch ev.Name {
+		case "trial":
+			r.Trials++
+			if b, _ := ev.Fields["feasible"].(bool); b {
+				r.Feasible++
+				return
+			}
+			reason, _ := ev.Fields["reason"].(string)
+			if reason == "" {
+				reason = "unknown"
+			}
+			r.Reasons[reason]++
+			if chip, ok := fieldInt(ev.Fields, "chip"); ok && chip > 0 {
+				if r.ChipReasons[chip] == nil {
+					r.ChipReasons[chip] = make(map[string]int)
+				}
+				r.ChipReasons[chip][reason]++
+			}
+		case "serialize":
+			r.Serializations++
+		case "prune":
+			r.Pruned++
+		}
+	}
+}
+
+// fieldInt reads a numeric field (JSON numbers decode as float64).
+func fieldInt(fields map[string]any, key string) (int, bool) {
+	switch v := fields[key].(type) {
+	case float64:
+		return int(v), true
+	case int:
+		return v, true
+	}
+	return 0, false
+}
+
+// Format renders the report as the human-readable explanation printed by
+// `chop explain`: per-stage time breakdown, trial totals and the
+// rejection-reason histograms (overall and per chip).
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events\n\n", r.Events)
+
+	if len(r.Stages) > 0 {
+		b.WriteString("time breakdown per stage:\n")
+		fmt.Fprintf(&b, "  %-20s %8s %12s %12s %12s\n", "stage", "count", "total", "avg", "max")
+		names := make([]string, 0, len(r.Stages))
+		for k := range r.Stages {
+			names = append(names, k)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if r.Stages[names[i]].TotalNS != r.Stages[names[j]].TotalNS {
+				return r.Stages[names[i]].TotalNS > r.Stages[names[j]].TotalNS
+			}
+			return names[i] < names[j]
+		})
+		for _, k := range names {
+			st := r.Stages[k]
+			avg := time.Duration(0)
+			if st.Count > 0 {
+				avg = time.Duration(st.TotalNS / int64(st.Count))
+			}
+			fmt.Fprintf(&b, "  %-20s %8d %12s %12s %12s\n", k, st.Count,
+				fmtDur(st.TotalNS), fmtDur(avg.Nanoseconds()), fmtDur(st.MaxNS))
+		}
+		b.WriteString("\n")
+	}
+
+	if len(r.Partitions) > 0 {
+		b.WriteString("BAD predictions kept per partition:\n")
+		parts := make([]int, 0, len(r.Partitions))
+		for pi := range r.Partitions {
+			parts = append(parts, pi)
+		}
+		sort.Ints(parts)
+		for _, pi := range parts {
+			fmt.Fprintf(&b, "  partition %d: %d designs\n", pi, r.Partitions[pi])
+		}
+		b.WriteString("\n")
+	}
+
+	rejected := r.Trials - r.Feasible
+	fmt.Fprintf(&b, "trials: %d examined, %d feasible, %d rejected\n",
+		r.Trials, r.Feasible, rejected)
+	if r.Serializations > 0 {
+		fmt.Fprintf(&b, "serialization steps (Figure 5): %d\n", r.Serializations)
+	}
+	if r.Pruned > 0 {
+		fmt.Fprintf(&b, "pruned (level 2, infeasible dropped): %d\n", r.Pruned)
+	}
+
+	if len(r.Reasons) > 0 {
+		b.WriteString("\nrejection reasons:\n")
+		for _, rc := range sortedCounts(r.Reasons) {
+			pct := 0.0
+			if rejected > 0 {
+				pct = 100 * float64(rc.n) / float64(rejected)
+			}
+			fmt.Fprintf(&b, "  %-20s %8d  (%.1f%%)\n", rc.k, rc.n, pct)
+		}
+	}
+	if len(r.ChipReasons) > 0 {
+		b.WriteString("\nrejection reasons per chip:\n")
+		chips := make([]int, 0, len(r.ChipReasons))
+		for c := range r.ChipReasons {
+			chips = append(chips, c)
+		}
+		sort.Ints(chips)
+		for _, c := range chips {
+			fmt.Fprintf(&b, "  chip %d:\n", c)
+			for _, rc := range sortedCounts(r.ChipReasons[c]) {
+				fmt.Fprintf(&b, "    %-18s %8d\n", rc.k, rc.n)
+			}
+		}
+	}
+	return b.String()
+}
+
+type kc struct {
+	k string
+	n int
+}
+
+func sortedCounts(m map[string]int) []kc {
+	out := make([]kc, 0, len(m))
+	for k, n := range m {
+		out = append(out, kc{k, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].n != out[j].n {
+			return out[i].n > out[j].n
+		}
+		return out[i].k < out[j].k
+	})
+	return out
+}
+
+func fmtDur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// traceScript emits a small synthetic pipeline trace and returns the JSONL.
+func traceScript(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := NewWriterSink(&buf)
+	tr := New(sink)
+	run := tr.Span("Run", F("graph", "ar"))
+	pp := run.Child("PredictPartitions")
+	b1 := pp.Child("BAD", F("partition", 1))
+	b1.End(F("kept", 7))
+	b2 := pp.Child("BAD", F("partition", 2))
+	b2.End(F("kept", 3))
+	pp.End()
+	search := run.Child("Search", F("heuristic", "I"))
+	search.Point("trial", F("ii", 10), F("feasible", true))
+	search.Point("trial", F("ii", 10), F("feasible", false), F("reason", "area"), F("chip", 2))
+	search.Point("prune", F("reason", "area"))
+	search.Point("trial", F("ii", 12), F("feasible", false), F("reason", "rate-mismatch"))
+	search.Point("prune", F("reason", "rate-mismatch"))
+	search.Point("serialize", F("partition", 2), F("ii", 10))
+	search.Point("trial", F("ii", 12), F("feasible", false), F("reason", "area"), F("chip", 2))
+	search.End(F("trials", 4))
+	run.End()
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestReplayAggregates(t *testing.T) {
+	rep, err := Replay(traceScript(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 4 || rep.Feasible != 1 {
+		t.Fatalf("trials=%d feasible=%d, want 4/1", rep.Trials, rep.Feasible)
+	}
+	if rep.Reasons["area"] != 2 || rep.Reasons["rate-mismatch"] != 1 {
+		t.Fatalf("reason histogram wrong: %+v", rep.Reasons)
+	}
+	if rep.ChipReasons[2]["area"] != 2 {
+		t.Fatalf("per-chip reasons wrong: %+v", rep.ChipReasons)
+	}
+	if len(rep.ChipReasons) != 1 {
+		t.Fatalf("non-chip reasons leaked into chip map: %+v", rep.ChipReasons)
+	}
+	if rep.Serializations != 1 || rep.Pruned != 2 {
+		t.Fatalf("serialize=%d prune=%d, want 1/2", rep.Serializations, rep.Pruned)
+	}
+	if rep.Stages["BAD"].Count != 2 {
+		t.Fatalf("BAD stage count = %d, want 2", rep.Stages["BAD"].Count)
+	}
+	if rep.Stages["Run"].Count != 1 || rep.Stages["Run"].TotalNS <= 0 {
+		t.Fatalf("Run stage missing duration: %+v", rep.Stages["Run"])
+	}
+	if rep.Partitions[1] != 7 || rep.Partitions[2] != 3 {
+		t.Fatalf("per-partition design counts wrong: %+v", rep.Partitions)
+	}
+}
+
+func TestReplayFormat(t *testing.T) {
+	rep, err := Replay(traceScript(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Format()
+	for _, want := range []string{
+		"time breakdown per stage",
+		"trials: 4 examined, 1 feasible, 3 rejected",
+		"rejection reasons:",
+		"area",
+		"rate-mismatch",
+		"chip 2:",
+		"serialization steps (Figure 5): 1",
+		"partition 1: 7 designs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Reasons sorted most-frequent first.
+	if strings.Index(out, "area") > strings.Index(out, "rate-mismatch") {
+		t.Errorf("reasons not sorted by count:\n%s", out)
+	}
+}
+
+func TestReplayRejectsGarbage(t *testing.T) {
+	if _, err := Replay(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("expected error on malformed trace")
+	}
+}
+
+func TestReplayEmptyAndBlankLines(t *testing.T) {
+	rep, err := Replay(strings.NewReader("\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != 0 || rep.Trials != 0 {
+		t.Fatalf("expected empty report, got %+v", rep)
+	}
+}

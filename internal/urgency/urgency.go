@@ -33,34 +33,52 @@ type Result struct {
 	Makespan int
 }
 
+// Stats reports the effort of one scheduling call, for the observability
+// layer: the integrator feeds these into its metrics registry so urgency
+// scheduling cost shows up in per-stage breakdowns.
+type Stats struct {
+	// Tasks is the number of tasks scheduled.
+	Tasks int
+	// Cycles is the number of wall cycles the scheduler stepped through.
+	Cycles int
+	// Makespan duplicates Result.Makespan for convenience.
+	Makespan int
+}
+
 // Schedule computes an urgency-driven resource-constrained schedule. cap
 // maps chip index -> available pins. It returns an error when a task
 // demands more pins than its chip has (structurally infeasible), when
 // dependencies are malformed, or when the task graph is cyclic.
 func Schedule(tasks []Task, cap map[int]int) (Result, error) {
+	res, _, err := ScheduleStats(tasks, cap)
+	return res, err
+}
+
+// ScheduleStats is Schedule plus effort statistics.
+func ScheduleStats(tasks []Task, cap map[int]int) (Result, Stats, error) {
 	n := len(tasks)
 	if n == 0 {
-		return Result{}, nil
+		return Result{}, Stats{}, nil
 	}
 	for i, t := range tasks {
 		if t.Dur < 0 {
-			return Result{}, fmt.Errorf("urgency: task %q has negative duration", t.Name)
+			return Result{}, Stats{}, fmt.Errorf("urgency: task %q has negative duration", t.Name)
 		}
 		for _, d := range t.Deps {
 			if d < 0 || d >= n {
-				return Result{}, fmt.Errorf("urgency: task %q has dependency %d out of range", t.Name, d)
+				return Result{}, Stats{}, fmt.Errorf("urgency: task %q has dependency %d out of range", t.Name, d)
 			}
 			if d == i {
-				return Result{}, fmt.Errorf("urgency: task %q depends on itself", t.Name)
+				return Result{}, Stats{}, fmt.Errorf("urgency: task %q depends on itself", t.Name)
 			}
 		}
 		for chip, p := range t.Pins {
 			if p > cap[chip] {
-				return Result{}, fmt.Errorf("urgency: task %q needs %d pins on chip %d (capacity %d)",
+				return Result{}, Stats{}, fmt.Errorf("urgency: task %q needs %d pins on chip %d (capacity %d)",
 					t.Name, p, chip, cap[chip])
 			}
 			if p < 0 {
-				return Result{}, fmt.Errorf("urgency: task %q has negative pin demand", t.Name)
+				return Result{}, Stats{}, fmt.Errorf("urgency: task %q has negative pin demand", t.Name)
 			}
 		}
 	}
@@ -74,7 +92,7 @@ func Schedule(tasks []Task, cap map[int]int) (Result, error) {
 	}
 	order, err := topo(tasks, succs, indeg)
 	if err != nil {
-		return Result{}, err
+		return Result{}, Stats{}, err
 	}
 	// Urgency: longest path (inclusive) from the task to any sink.
 	urg := make([]int, n)
@@ -111,7 +129,9 @@ func Schedule(tasks []Task, cap map[int]int) (Result, error) {
 	}
 	scheduled := 0
 	makespan := 0
+	cycles := 0
 	for t := 0; scheduled < n; t++ {
+		cycles = t + 1
 		// Retire finished tasks, releasing pins and readying successors.
 		kept := active[:0]
 		for _, r := range active {
@@ -170,10 +190,11 @@ func Schedule(tasks []Task, cap map[int]int) (Result, error) {
 			ready = still
 		}
 		if t > horizonFor(tasks) && scheduled < n {
-			return Result{}, fmt.Errorf("urgency: schedule did not converge after %d cycles", t)
+			return Result{}, Stats{}, fmt.Errorf("urgency: schedule did not converge after %d cycles", t)
 		}
 	}
-	return Result{Start: start, Makespan: makespan}, nil
+	return Result{Start: start, Makespan: makespan},
+		Stats{Tasks: n, Cycles: cycles, Makespan: makespan}, nil
 }
 
 func pinsFree(need map[int]int, free map[int]int) bool {

@@ -1,0 +1,125 @@
+package chop_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	chop "chop"
+)
+
+func obsProblem() (*chop.Partitioning, chop.Config) {
+	g := chop.ARLatticeFilter(16)
+	p := &chop.Partitioning{
+		Graph:    g,
+		Parts:    chop.LevelPartitions(g, 2),
+		PartChip: []int{0, 1},
+		Chips:    chop.NewChipSet(2, chop.MOSISPackages()[1], 4),
+	}
+	cfg := chop.Config{
+		Lib:    chop.Table1Library(),
+		Clocks: chop.Clocks{MainNS: 300, DatapathMult: 10, TransferMult: 1},
+		Constraints: chop.Constraints{
+			Perf:  chop.Constraint{Bound: 30000, MinProb: 1},
+			Delay: chop.Constraint{Bound: 30000, MinProb: 0.8},
+		},
+	}
+	return p, cfg
+}
+
+// TestTraceReplayMatchesRun is the acceptance check of the observability
+// layer: a traced chop.Run on the AR filter must produce a JSONL stream
+// whose replay reconstructs the run — every pipeline stage timed, and the
+// trial accounting (examined / feasible / rejection reasons) agreeing
+// exactly with the SearchResult.
+func TestTraceReplayMatchesRun(t *testing.T) {
+	for _, h := range []chop.Heuristic{chop.Enumeration, chop.Iterative} {
+		p, cfg := obsProblem()
+		var buf bytes.Buffer
+		cfg.Trace = chop.NewTracer(chop.NewWriterSink(&buf))
+		cfg.Metrics = chop.NewMetrics()
+
+		res, preds, err := chop.Run(p, cfg, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := chop.ReplayTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Trials != res.Trials {
+			t.Fatalf("%v: replay saw %d trials, search ran %d", h, rep.Trials, res.Trials)
+		}
+		if rep.Feasible != res.FeasibleTrials {
+			t.Fatalf("%v: replay feasible %d != %d", h, rep.Feasible, res.FeasibleTrials)
+		}
+		reasonSum := 0
+		for _, n := range rep.Reasons {
+			reasonSum += n
+		}
+		if reasonSum != res.Trials-res.FeasibleTrials {
+			t.Fatalf("%v: rejection reasons sum to %d, want %d rejected trials",
+				h, reasonSum, res.Trials-res.FeasibleTrials)
+		}
+		for _, stage := range []string{"Run", "PredictPartitions", "BAD", "Search", "integrate"} {
+			st, ok := rep.Stages[stage]
+			if !ok || st.Count == 0 {
+				t.Fatalf("%v: stage %q missing from replay (stages %v)", h, stage, rep.Stages)
+			}
+		}
+		if rep.Stages["BAD"].Count != len(preds) {
+			t.Fatalf("%v: %d BAD spans for %d partitions", h, rep.Stages["BAD"].Count, len(preds))
+		}
+		if rep.Stages["integrate"].Count != res.Trials {
+			t.Fatalf("%v: %d integrate spans for %d trials",
+				h, rep.Stages["integrate"].Count, res.Trials)
+		}
+		for pi, r := range preds {
+			if rep.Partitions[pi+1] != len(r.Designs) {
+				t.Fatalf("%v: partition %d kept %d in replay, %d in result",
+					h, pi+1, rep.Partitions[pi+1], len(r.Designs))
+			}
+		}
+
+		// The rendered report names the stages and the trial totals.
+		text := rep.Format()
+		for _, want := range []string{"time breakdown per stage", "Run", "trials:", "rejection reasons"} {
+			if !strings.Contains(text, want) {
+				t.Fatalf("%v: report misses %q:\n%s", h, want, text)
+			}
+		}
+
+		// And the metrics registry, independent of the trace, agrees on the
+		// trial counter.
+		snap := cfg.Metrics.Snapshot()
+		if got := snap.Counters["core.trials"]; got != int64(res.Trials) {
+			t.Fatalf("%v: metrics counted %d trials, want %d", h, got, res.Trials)
+		}
+	}
+}
+
+// TestTraceDisabledByDefault pins the zero-config contract: a Config with
+// no tracer and no metrics runs identically and never panics on the
+// nil-safe hooks.
+func TestTraceDisabledByDefault(t *testing.T) {
+	p, cfg := obsProblem()
+	traced := cfg
+	var buf bytes.Buffer
+	traced.Trace = chop.NewTracer(chop.NewWriterSink(&buf))
+
+	plain, _, err := chop.Run(p, cfg, chop.Iterative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTrace, _, err := chop.Run(p, traced, chop.Iterative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trials != withTrace.Trials || plain.FeasibleTrials != withTrace.FeasibleTrials ||
+		len(plain.Best) != len(withTrace.Best) {
+		t.Fatalf("tracing changed the search: %+v vs %+v", plain, withTrace)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("traced run wrote no events")
+	}
+}
