@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet lint test race bench gobench ci
 
 all: build
 
@@ -10,14 +10,29 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint fails when any file is not gofmt-clean, then vets.
+lint:
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+	$(GO) vet ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
+# bench runs the calibrated harness in short mode and writes BENCH_<n>.json.
+# Gate a change against a saved baseline with:
+#   go run ./cmd/chop bench -compare BENCH_1.json BENCH_2.json -tolerance 10
 bench:
+	$(GO) run ./cmd/chop bench -short -json
+
+# gobench runs the in-tree go test benchmarks (overhead gates etc.).
+gobench:
 	$(GO) test -run XXX -bench . -benchmem ./...
 
 # ci is what .github/workflows/ci.yml runs.
-ci: vet build race
+ci: lint build race

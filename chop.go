@@ -41,6 +41,7 @@ package chop
 import (
 	"chop/internal/advisor"
 	"chop/internal/bad"
+	"chop/internal/benchkit"
 	"chop/internal/chip"
 	"chop/internal/core"
 	"chop/internal/cosim"
@@ -284,6 +285,18 @@ type (
 	MetricsSnapshot = obs.Snapshot
 	// TraceReport is the aggregation ReplayTrace builds from a trace.
 	TraceReport = obs.Report
+	// PushSink adapts a plain func(TraceEvent) into a TraceSink.
+	PushSink = obs.PushSink
+	// FileSink is a buffered JSONL sink backed by a file; Close flushes.
+	FileSink = obs.FileSink
+	// ProgressSink renders throttled human-readable progress lines from a
+	// live trace stream.
+	ProgressSink = obs.ProgressSink
+	// Profiler manages CPU/heap/block profiles around a run; see
+	// StartProfiler.
+	Profiler = obs.Profiler
+	// ProfileConfig names the profile output files for StartProfiler.
+	ProfileConfig = obs.ProfileConfig
 )
 
 var (
@@ -294,11 +307,53 @@ var (
 	NewWriterSink = obs.NewWriterSink
 	// NewCountingSink counts events by kind and name without storing them.
 	NewCountingSink = obs.NewCountingSink
-	// NewMetrics returns an empty metrics registry.
+	// NewFileSink opens a buffered JSONL trace file (remember to Close).
+	NewFileSink = obs.NewFileSink
+	// NewTeeSink fans events out to several sinks (nils dropped; returns
+	// nil when none remain, which disables tracing).
+	NewTeeSink = obs.NewTeeSink
+	// NewProgressSink builds a throttled progress renderer; pass interval 0
+	// for the default cadence.
+	NewProgressSink = obs.NewProgressSink
+	// NewMetrics returns an empty metrics registry. Its WriteProm/PromText
+	// methods render Prometheus text exposition; Vars renders an
+	// expvar-style flat map.
 	NewMetrics = obs.NewMetrics
+	// StartProfiler starts the profiles named in a ProfileConfig and
+	// returns a Profiler whose Stop writes them out (nil-safe when the
+	// config is empty).
+	StartProfiler = obs.StartProfiler
 	// ReplayTrace aggregates a JSONL trace stream into a TraceReport;
 	// its Format method renders the human-readable explanation.
 	ReplayTrace = obs.Replay
+)
+
+// Benchmark harness types (package benchkit). `chop bench` is the CLI
+// front end; these exports let programs run and gate the same harness.
+type (
+	// BenchOptions parameterizes RunBench (short mode, workload filter).
+	BenchOptions = benchkit.Options
+	// BenchReport is one schema-versioned harness run (BENCH_<n>.json).
+	BenchReport = benchkit.Report
+	// BenchResult is one workload's measurements within a BenchReport.
+	BenchResult = benchkit.Result
+	// BenchDelta is one workload's old-vs-new comparison from CompareBench.
+	BenchDelta = benchkit.Delta
+)
+
+// BenchSchemaVersion identifies the BENCH report JSON schema.
+const BenchSchemaVersion = benchkit.SchemaVersion
+
+var (
+	// RunBench measures the calibrated workload set and returns a report.
+	RunBench = benchkit.Run
+	// CompareBench diffs two reports and flags regressions beyond a
+	// percentage tolerance.
+	CompareBench = benchkit.Compare
+	// LoadBenchReport reads and schema-checks a saved BENCH json file.
+	LoadBenchReport = benchkit.Load
+	// BenchWorkloads lists the harness's workload set.
+	BenchWorkloads = benchkit.Workloads
 )
 
 // Advisor types (package advisor).

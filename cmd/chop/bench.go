@@ -1,0 +1,90 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chop/internal/benchkit"
+)
+
+// bench runs the calibrated performance harness (internal/benchkit) or, in
+// -compare mode, gates a new BENCH report against a baseline:
+//
+//	chop bench -short -json                        # measure, write BENCH_<n>.json
+//	chop bench -compare old.json new.json -tolerance 10
+//
+// -compare exits non-zero when any workload's ns/op regressed by at least
+// the tolerance, which is what CI and the Makefile hook into.
+func bench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	short := fs.Bool("short", false, "use the small per-workload time budget (CI-friendly)")
+	jsonOut := fs.Bool("json", false, "write a schema-versioned BENCH_<n>.json into -dir")
+	dir := fs.String("dir", ".", "directory for -json output and BENCH_<n> numbering")
+	out := fs.String("o", "", "write the report to this exact path instead of BENCH_<n>.json")
+	runFilter := fs.String("run", "", "only run workloads whose name contains this substring")
+	compareOld := fs.String("compare", "", "baseline BENCH json; compares against the positional new BENCH json instead of measuring")
+	tolerance := fs.Float64("tolerance", 10, "regression tolerance in percent for -compare")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *compareOld != "" {
+		rest := fs.Args()
+		if len(rest) < 1 {
+			return fmt.Errorf("bench: -compare needs the new report: chop bench -compare old.json new.json")
+		}
+		newPath := rest[0]
+		// Allow flags after the positional file (chop bench -compare
+		// old.json new.json -tolerance 10): re-parse the remainder.
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		return benchCompare(*compareOld, newPath, *tolerance)
+	}
+
+	rep, err := benchkit.Run(benchkit.Options{
+		Short:  *short,
+		Filter: *runFilter,
+		Log:    os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(benchkit.FormatReport(rep))
+
+	path := *out
+	if path == "" && *jsonOut {
+		if path, err = benchkit.NextPath(*dir); err != nil {
+			return err
+		}
+	}
+	if path != "" {
+		if err := rep.Save(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s (gate with: chop bench -compare %s <new.json>)\n",
+			path, path)
+	}
+	return nil
+}
+
+func benchCompare(oldPath, newPath string, tolerance float64) error {
+	old, err := benchkit.Load(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := benchkit.Load(newPath)
+	if err != nil {
+		return err
+	}
+	deltas, regressed := benchkit.Compare(old, cur, tolerance)
+	if len(deltas) == 0 {
+		return fmt.Errorf("bench: no common workloads between %s and %s", oldPath, newPath)
+	}
+	fmt.Print(benchkit.FormatDeltas(deltas))
+	if regressed {
+		return fmt.Errorf("bench: performance regression beyond %.0f%% tolerance", tolerance)
+	}
+	fmt.Printf("no regression beyond %.0f%% tolerance across %d workloads\n", tolerance, len(deltas))
+	return nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chop/internal/benchkit"
+)
+
+func writeReport(t *testing.T, path string, ns map[string]float64) {
+	t.Helper()
+	r := &benchkit.Report{Schema: benchkit.SchemaVersion}
+	for name, v := range ns {
+		r.Workloads = append(r.Workloads, benchkit.Result{Name: name, Iters: 1, NsPerOp: v})
+	}
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBenchCompareGate drives the CLI exactly as documented —
+// `chop bench -compare old.json new.json -tolerance 10` — and checks the
+// command fails (non-zero exit via main's error path) on an injected
+// regression at/above tolerance, and passes below it.
+func TestBenchCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	writeReport(t, oldP, map[string]float64{"exp1/results": 100e6, "graph/ar/p2": 10e6})
+	writeReport(t, newP, map[string]float64{"exp1/results": 130e6, "graph/ar/p2": 10.2e6})
+
+	err := bench([]string{"-compare", oldP, newP, "-tolerance", "10"})
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("30%% slowdown at 10%% tolerance must fail, got %v", err)
+	}
+	// A tolerance above the injected slowdown passes.
+	if err := bench([]string{"-compare", oldP, newP, "-tolerance", "40"}); err != nil {
+		t.Fatalf("40%% tolerance should pass: %v", err)
+	}
+	// Flag order from before the positionals works too.
+	err = bench([]string{"-tolerance", "10", "-compare", oldP, newP})
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("flag-first order must also gate, got %v", err)
+	}
+}
+
+func TestBenchCompareMissingArgs(t *testing.T) {
+	if err := bench([]string{"-compare", "only-old.json"}); err == nil {
+		t.Fatal("want usage error without the new report path")
+	}
+}
+
+func TestBenchCompareDisjointReports(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	writeReport(t, oldP, map[string]float64{"a": 1})
+	writeReport(t, newP, map[string]float64{"b": 1})
+	if err := bench([]string{"-compare", oldP, newP}); err == nil {
+		t.Fatal("want error when reports share no workloads")
+	}
+}

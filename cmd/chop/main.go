@@ -11,9 +11,14 @@
 //	chop eval -f spec.json evaluate a partitioning spec
 //	chop advise -f spec.json  interactive advisor session (commands on stdin)
 //	chop explain -f trace.jsonl  replay a -trace file into a readable report
+//	chop bench             run the performance harness, emit/compare BENCH JSON
 //
-// The eval and synth commands accept -trace <file> to record a JSONL trace
-// of the run and -metrics to print the counter/histogram registry afterward.
+// The run-style commands (eval, synth, exp1, exp2, advise) share the
+// observability flags: -trace <file> records a JSONL trace, -metrics
+// prints the counter/histogram registry afterward, -prom <file> writes it
+// in Prometheus text format, -progress prints throttled live progress on
+// stderr, and -cpuprofile/-memprofile/-blockprofile collect runtime/pprof
+// profiles.
 package main
 
 import (
@@ -49,9 +54,11 @@ func main() {
 	case "tables":
 		err = tables()
 	case "exp1":
-		err = experiment(1)
+		err = experiment(1, os.Args[2:])
 	case "exp2":
-		err = experiment(2)
+		err = experiment(2, os.Args[2:])
+	case "bench":
+		err = bench(os.Args[2:])
 	case "graph":
 		err = graph(os.Args[2:])
 	case "spec":
@@ -95,10 +102,17 @@ func usage() {
   compile -f prog.hls  compile a behavioral program (loops unrolled) and print its DFG
   synth -f spec.json   synthesize the fastest feasible design to RTL, verify it, emit Verilog
   accuracy             compare BAD predictions against bound netlists
+  bench                run the performance harness (-json writes BENCH_<n>.json,
+                       -compare old.json new.json gates regressions)
 
-eval and synth also accept:
+eval, synth, exp1, exp2 and advise also accept:
   -trace file          record a JSONL trace of the run (replay with 'chop explain')
   -metrics             print the counter/histogram registry after the run
+  -prom file           write the registry in Prometheus text format
+  -progress            print throttled live progress lines to stderr
+  -cpuprofile file     write a CPU profile (flamegraph with 'go tool pprof')
+  -memprofile file     write a heap profile taken after the run
+  -blockprofile file   write a goroutine-blocking profile
 `)
 }
 
@@ -110,28 +124,42 @@ func tables() error {
 	return nil
 }
 
-func experiment(n int) error {
+func experiment(n int, args []string) error {
+	fs := flag.NewFlagSet(fmt.Sprintf("exp%d", n), flag.ExitOnError)
+	of := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	e := experiments.New(n)
-	fmt.Printf("Experiment %d: %s\n\n", n, e.Name)
-
-	counts, err := e.PredictionCounts()
+	finish, err := of.attach(&e.Cfg)
 	if err != nil {
 		return err
 	}
-	tn := 3
-	if n == 2 {
-		tn = 5
-	}
-	fmt.Printf("Table %d: statistics on the results from BAD\n", tn)
-	fmt.Println(experiments.FormatCounts(counts))
+	err = func() error {
+		fmt.Printf("Experiment %d: %s\n\n", n, e.Name)
+		counts, err := e.PredictionCounts()
+		if err != nil {
+			return err
+		}
+		tn := 3
+		if n == 2 {
+			tn = 5
+		}
+		fmt.Printf("Table %d: statistics on the results from BAD\n", tn)
+		fmt.Println(experiments.FormatCounts(counts))
 
-	rows, err := e.Results()
-	if err != nil {
-		return err
+		rows, err := e.Results()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Table %d: partitioning results\n", tn+1)
+		fmt.Println(experiments.FormatResults(rows))
+		return nil
+	}()
+	if ferr := finish(); ferr != nil && err == nil {
+		err = ferr
 	}
-	fmt.Printf("Table %d: partitioning results\n", tn+1)
-	fmt.Println(experiments.FormatResults(rows))
-	return nil
+	return err
 }
 
 func graph(args []string) error {
@@ -178,56 +206,96 @@ func printSpec() error {
 	return nil
 }
 
-// obsFlags carries the shared -trace / -metrics observability flags.
+// obsFlags carries the observability flags shared by every run-style
+// command (eval, synth, exp1, exp2, advise): tracing, metrics exposition,
+// live progress, and the runtime/pprof profiling trio.
 type obsFlags struct {
-	trace   *string
-	metrics *bool
+	trace    *string
+	metrics  *bool
+	prom     *string
+	progress *bool
+
+	cpuprofile   *string
+	memprofile   *string
+	blockprofile *string
 }
 
 func addObsFlags(fs *flag.FlagSet) *obsFlags {
 	return &obsFlags{
-		trace:   fs.String("trace", "", "record a JSONL trace of the run to this file"),
-		metrics: fs.Bool("metrics", false, "print the counter/histogram registry after the run"),
+		trace:        fs.String("trace", "", "record a JSONL trace of the run to this file"),
+		metrics:      fs.Bool("metrics", false, "print the counter/histogram registry after the run"),
+		prom:         fs.String("prom", "", "write Prometheus text-format metrics to this file after the run"),
+		progress:     fs.Bool("progress", false, "print throttled live progress lines to stderr"),
+		cpuprofile:   fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		memprofile:   fs.String("memprofile", "", "write a heap profile to this file"),
+		blockprofile: fs.String("blockprofile", "", "write a goroutine-blocking profile to this file"),
 	}
 }
 
-// attach wires the requested tracer and metrics registry into cfg and
-// returns a finish function to call once the run is over: it flushes and
-// closes the trace file and prints the metrics dump.
+// attach wires the requested tracer, metrics registry, progress sink and
+// profilers into cfg and returns a finish function to call once the run is
+// over: it prints the final progress line and the metrics dumps, flushes
+// and closes the buffered trace file, and stops the profilers.
 func (o *obsFlags) attach(cfg *core.Config) (func() error, error) {
-	var f *os.File
-	var ws *obs.WriterSink
+	var sinks []obs.Sink
+	var file *obs.FileSink
 	if *o.trace != "" {
 		var err error
-		f, err = os.Create(*o.trace)
+		file, err = obs.NewFileSink(*o.trace)
 		if err != nil {
 			return nil, err
 		}
-		ws = obs.NewWriterSink(f)
-		cfg.Trace = obs.New(ws)
+		sinks = append(sinks, file)
 	}
+	var prog *obs.ProgressSink
+	if *o.progress {
+		prog = obs.NewProgressSink(os.Stderr, 0)
+		sinks = append(sinks, prog)
+	}
+	cfg.Trace = obs.New(obs.NewTeeSink(sinks...))
 	var m *obs.Metrics
-	if *o.metrics {
+	if *o.metrics || *o.prom != "" {
 		m = obs.NewMetrics()
 		cfg.Metrics = m
 	}
+	prof, err := obs.StartProfiler(obs.ProfileConfig{
+		CPUFile:   *o.cpuprofile,
+		MemFile:   *o.memprofile,
+		BlockFile: *o.blockprofile,
+	})
+	if err != nil {
+		if file != nil {
+			file.Close()
+		}
+		return nil, err
+	}
 	return func() error {
-		if m != nil {
+		var first error
+		keep := func(err error) {
+			if first == nil && err != nil {
+				first = err
+			}
+		}
+		if prog != nil {
+			prog.Flush()
+		}
+		if *o.metrics {
 			fmt.Println("\nmetrics:")
 			fmt.Print(m.Text())
 		}
-		if f != nil {
-			if err := ws.Err(); err != nil {
-				f.Close()
-				return fmt.Errorf("trace: %w", err)
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Fprintf(os.Stderr, "trace written to %s (replay with: chop explain -f %s)\n",
-				*o.trace, *o.trace)
+		if *o.prom != "" {
+			keep(os.WriteFile(*o.prom, []byte(m.PromText()), 0o644))
 		}
-		return nil
+		if file != nil {
+			if err := file.Close(); err != nil {
+				keep(fmt.Errorf("trace: %w", err))
+			} else {
+				fmt.Fprintf(os.Stderr, "trace written to %s (replay with: chop explain -f %s)\n",
+					*o.trace, *o.trace)
+			}
+		}
+		keep(prof.Stop())
+		return first
 	}, nil
 }
 
@@ -308,6 +376,7 @@ func eval(args []string) error {
 func advise(args []string) error {
 	fs := flag.NewFlagSet("advise", flag.ExitOnError)
 	file := fs.String("f", "", "partitioning spec file (JSON)")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -322,31 +391,41 @@ func advise(args []string) error {
 	if err != nil {
 		return err
 	}
-	sess, err := advisor.New(prob.Partitioning, prob.Config, prob.Heuristic)
+	finish, err := of.attach(&prob.Config)
 	if err != nil {
 		return err
 	}
-	fmt.Println("chop advisor — type 'help' for commands, 'quit' to exit")
-	sc := bufio.NewScanner(os.Stdin)
-	for {
-		fmt.Print("chop> ")
-		if !sc.Scan() {
-			fmt.Println()
-			return sc.Err()
-		}
-		line := sc.Text()
-		if line == "quit" || line == "exit" {
-			return nil
-		}
-		out, err := sess.Exec(line)
+	err = func() error {
+		sess, err := advisor.New(prob.Partitioning, prob.Config, prob.Heuristic)
 		if err != nil {
-			fmt.Println("error:", err)
-			continue
+			return err
 		}
-		if out != "" {
-			fmt.Println(out)
+		fmt.Println("chop advisor — type 'help' for commands, 'quit' to exit")
+		sc := bufio.NewScanner(os.Stdin)
+		for {
+			fmt.Print("chop> ")
+			if !sc.Scan() {
+				fmt.Println()
+				return sc.Err()
+			}
+			line := sc.Text()
+			if line == "quit" || line == "exit" {
+				return nil
+			}
+			out, err := sess.Exec(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if out != "" {
+				fmt.Println(out)
+			}
 		}
+	}()
+	if ferr := finish(); ferr != nil && err == nil {
+		err = ferr
 	}
+	return err
 }
 
 // explain replays a trace file recorded with -trace into a human-readable

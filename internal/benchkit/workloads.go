@@ -1,0 +1,139 @@
+package benchkit
+
+import (
+	"fmt"
+
+	"chop/internal/bad"
+	"chop/internal/chip"
+	"chop/internal/core"
+	"chop/internal/dfg"
+	"chop/internal/experiments"
+	"chop/internal/lib"
+	"chop/internal/obs"
+	"chop/internal/stats"
+)
+
+// Workload is one calibrated measurement target.
+type Workload struct {
+	Name string
+	// Run executes one iteration. m receives the pipeline's counters on
+	// calibration passes and is nil during timed iterations, so metrics
+	// overhead never pollutes ns/op.
+	Run func(m *obs.Metrics) error
+}
+
+// Workloads returns the harness's workload set: the paper's two
+// experiments, the benchmark graphs at several partition scales, and the
+// synthetic stress case. Order is stable so BENCH reports diff cleanly.
+func Workloads() []Workload {
+	ws := []Workload{
+		{Name: "exp1/counts", Run: expCounts(1)},
+		{Name: "exp1/results", Run: expResults(1)},
+		{Name: "exp2/counts", Run: expCounts(2)},
+		{Name: "exp2/results", Run: expResults(2)},
+	}
+	for _, gw := range []struct {
+		name  string
+		build func() *dfg.Graph
+		parts int
+	}{
+		{"graph/ar/p2", func() *dfg.Graph { return dfg.ARLatticeFilter(16) }, 2},
+		{"graph/ewf/p2", func() *dfg.Graph { return dfg.EllipticWaveFilter(16) }, 2},
+		{"graph/ewf/p3", func() *dfg.Graph { return dfg.EllipticWaveFilter(16) }, 3},
+		{"graph/fir24/p2", func() *dfg.Graph { return dfg.FIR(24, 16) }, 2},
+		{"graph/fir48/p3", func() *dfg.Graph { return dfg.FIR(48, 16) }, 3},
+		{"graph/diffeq/p2", func() *dfg.Graph { return dfg.DiffEq(16) }, 2},
+		{"stress/layered120/p3", func() *dfg.Graph { return StressDFG(6, 20, 16) }, 3},
+	} {
+		ws = append(ws, Workload{Name: gw.name, Run: graphRun(gw.build, gw.parts)})
+	}
+	return ws
+}
+
+// expCounts regenerates the paper's Table 3/5 prediction statistics.
+func expCounts(n int) func(*obs.Metrics) error {
+	return func(m *obs.Metrics) error {
+		e := experiments.New(n)
+		e.Cfg.Metrics = m
+		_, err := e.PredictionCounts()
+		return err
+	}
+}
+
+// expResults regenerates the paper's Table 4/6 partitioning results (both
+// heuristics over the partition/package schedule).
+func expResults(n int) func(*obs.Metrics) error {
+	return func(m *obs.Metrics) error {
+		e := experiments.New(n)
+		e.Cfg.Metrics = m
+		_, err := e.Results()
+		return err
+	}
+}
+
+// graphRun partitions a benchmark graph into `parts` level blocks on
+// 84-pin packages and runs the full predict+search pipeline with the
+// iterative heuristic. The constraints are looser than the paper's
+// experiment 1 (the EWF's long dependence chain cannot meet 30 µs with a
+// 3 µs datapath cycle), so every workload performs a non-trivial search
+// instead of pruning everything at level 1. The extended library covers
+// ops (cmp, sub, div) absent from the paper's Table 1.
+func graphRun(build func() *dfg.Graph, parts int) func(*obs.Metrics) error {
+	return func(m *obs.Metrics) error {
+		g := build()
+		p := &core.Partitioning{
+			Graph:    g,
+			Parts:    dfg.LevelPartitions(g, parts),
+			PartChip: make([]int, parts),
+			Chips:    chip.NewUniformSet(parts, chip.MOSISPackages()[1], 4),
+		}
+		for i := range p.PartChip {
+			p.PartChip[i] = i
+		}
+		cfg := core.Config{
+			Lib:    lib.ExtendedLibrary(),
+			Clocks: bad.Clocks{MainNS: 300, DatapathMult: 10, TransferMult: 1},
+			Constraints: core.Constraints{
+				Perf:  stats.Constraint{Bound: 90000, MinProb: 1},
+				Delay: stats.Constraint{Bound: 90000, MinProb: 0.8},
+			},
+			Metrics: m,
+		}
+		_, _, err := core.Run(p, cfg, core.Iterative)
+		return err
+	}
+}
+
+// StressDFG builds a synthetic layered data-flow graph for stress
+// workloads: `levels` alternating add/mul levels of `width` nodes each,
+// every node fed by two neighbors of the previous level, with input
+// markers ahead of the first level and output markers after the last. The
+// result is valid (acyclic, fully connected) and much larger than the
+// paper's benchmarks, so it exercises scheduling and integration on a
+// scale the original system never reached.
+func StressDFG(levels, width, bits int) *dfg.Graph {
+	g := dfg.New(fmt.Sprintf("stress-%dx%d", levels, width))
+	prev := make([]int, width)
+	for i := range prev {
+		prev[i] = g.AddNode(fmt.Sprintf("in%d", i), dfg.OpInput, bits)
+	}
+	for l := 0; l < levels; l++ {
+		op := dfg.OpAdd
+		if l%2 == 1 {
+			op = dfg.OpMul
+		}
+		cur := make([]int, width)
+		for i := 0; i < width; i++ {
+			id := g.AddNode(fmt.Sprintf("n%d_%d", l, i), op, bits)
+			g.MustConnect(prev[i], id)
+			g.MustConnect(prev[(i+1)%width], id)
+			cur[i] = id
+		}
+		prev = cur
+	}
+	for i, id := range prev {
+		out := g.AddNode(fmt.Sprintf("out%d", i), dfg.OpOutput, bits)
+		g.MustConnect(id, out)
+	}
+	return g
+}

@@ -137,6 +137,11 @@ func enumerate(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (
 		}
 		total *= len(l)
 	}
+	if sp != nil {
+		// Announce the enumeration-space size so live consumers (the
+		// -progress sink) can report trials as a fraction of the whole.
+		sp.Point("space", obs.F("combinations", total))
+	}
 	idx := make([]int, len(lists))
 	choice := make([]bad.Design, len(lists))
 	for {
@@ -214,6 +219,9 @@ func iterative(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (
 		intervals = append(intervals, l)
 	}
 	sort.Ints(intervals)
+	if sp != nil {
+		sp.Point("space", obs.F("intervals", len(intervals)))
+	}
 
 	for _, l := range intervals {
 		// Initialize W_i to the fastest valid implementation at interval l

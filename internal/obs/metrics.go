@@ -118,7 +118,8 @@ func bucketOf(v float64) int {
 }
 
 // quantile estimates the q-quantile (0..1) from the bucket counts as the
-// upper bound of the bucket holding the q-th sample.
+// upper bound of the bucket holding the q-th sample, clamped into the
+// observed [min, max] range.
 func (h *hist) quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
@@ -142,6 +143,27 @@ func (h *hist) quantile(q float64) float64 {
 		}
 	}
 	return h.max
+}
+
+// quantiles estimates several quantiles in one call. qs must be ascending;
+// the reported values are forced monotonically non-decreasing, so the
+// independent [min, max] clamping of quantile can never report p50 > p90
+// on skewed bucket contents.
+func (h *hist) quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if h.count == 0 {
+		return out
+	}
+	floor := math.Inf(-1)
+	for i, q := range qs {
+		v := h.quantile(q)
+		if v < floor {
+			v = floor
+		}
+		floor = v
+		out[i] = v
+	}
+	return out
 }
 
 // HistSnapshot is the exported state of one histogram.
@@ -178,9 +200,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.Counters[k] = v
 	}
 	for k, h := range m.hists {
+		q := h.quantiles(0.50, 0.90, 0.99)
 		hs := HistSnapshot{
 			Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
-			P50: h.quantile(0.50), P90: h.quantile(0.90), P99: h.quantile(0.99),
+			P50: q[0], P90: q[1], P99: q[2],
 		}
 		if h.count > 0 {
 			hs.Mean = h.sum / float64(h.count)

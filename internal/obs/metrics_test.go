@@ -2,6 +2,8 @@ package obs
 
 import (
 	"encoding/json"
+	"math"
+	"math/rand"
 	"strings"
 	"sync"
 	"testing"
@@ -81,6 +83,40 @@ func TestBucketOf(t *testing.T) {
 	for _, c := range cases {
 		if got := bucketOf(c.v); got != c.b {
 			t.Errorf("bucketOf(%v) = %d, want %d", c.v, got, c.b)
+		}
+	}
+}
+
+// TestQuantileMonotone is a property-style check over random skewed
+// samples: reported quantiles must satisfy min <= p50 <= p90 <= p99 <= max
+// and min <= mean <= max, whatever the bucket contents.
+func TestQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		m := NewMetrics()
+		n := 1 + rng.Intn(400)
+		for i := 0; i < n; i++ {
+			var v float64
+			switch rng.Intn(4) {
+			case 0: // tiny, sub-bucket values (incl. negatives)
+				v = rng.Float64()*4 - 2
+			case 1: // mid-range
+				v = rng.Float64() * 100
+			case 2: // heavy tail
+				v = math.Exp2(rng.Float64() * 40)
+			default: // clustered narrow band inside one bucket
+				v = 1000 + rng.Float64()
+			}
+			m.Observe("h", v)
+		}
+		h := m.Snapshot().Histograms["h"]
+		if !(h.Min <= h.P50 && h.P50 <= h.P90 && h.P90 <= h.P99 && h.P99 <= h.Max) {
+			t.Fatalf("trial %d (n=%d): quantiles not monotone: min=%g p50=%g p90=%g p99=%g max=%g",
+				trial, n, h.Min, h.P50, h.P90, h.P99, h.Max)
+		}
+		if !(h.Min <= h.Mean && h.Mean <= h.Max) {
+			t.Fatalf("trial %d (n=%d): mean %g outside [%g, %g]",
+				trial, n, h.Mean, h.Min, h.Max)
 		}
 	}
 }

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileConfig names the runtime/pprof outputs a run should collect.
+// Empty paths disable the corresponding profile.
+type ProfileConfig struct {
+	// CPUFile receives a CPU profile covering Start..Stop.
+	CPUFile string
+	// MemFile receives a heap profile taken at Stop (after a GC, so it
+	// reflects live memory, not transient garbage).
+	MemFile string
+	// BlockFile receives a goroutine-blocking profile covering
+	// Start..Stop.
+	BlockFile string
+	// BlockRate is the ns-per-blocking-event sampling rate passed to
+	// runtime.SetBlockProfileRate while a BlockFile is set; <= 0 selects
+	// 1 (record every event).
+	BlockRate int
+}
+
+func (c ProfileConfig) enabled() bool {
+	return c.CPUFile != "" || c.MemFile != "" || c.BlockFile != ""
+}
+
+// Profiler wraps runtime/pprof start/stop/flush with file handling so any
+// command or test can be flamegraphed with two calls:
+//
+//	p, err := obs.StartProfiler(obs.ProfileConfig{CPUFile: "cpu.pprof"})
+//	...
+//	defer p.Stop()
+//
+// A nil *Profiler is valid and Stop on it no-ops, so callers can hold the
+// result of a disabled StartProfiler without checks.
+type Profiler struct {
+	cfg ProfileConfig
+	cpu *os.File
+}
+
+// StartProfiler begins collecting the configured profiles. It returns
+// (nil, nil) when the config enables nothing. On error, anything already
+// started is stopped and cleaned up.
+func StartProfiler(cfg ProfileConfig) (*Profiler, error) {
+	if !cfg.enabled() {
+		return nil, nil
+	}
+	p := &Profiler{cfg: cfg}
+	if cfg.CPUFile != "" {
+		f, err := os.Create(cfg.CPUFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		p.cpu = f
+	}
+	if cfg.BlockFile != "" {
+		rate := cfg.BlockRate
+		if rate <= 0 {
+			rate = 1
+		}
+		runtime.SetBlockProfileRate(rate)
+	}
+	return p, nil
+}
+
+// Stop flushes and closes every profile started by StartProfiler. It
+// reports the first error but always attempts every stop, and is safe to
+// call on a nil Profiler and to call more than once (subsequent calls
+// no-op).
+func (p *Profiler) Stop() error {
+	if p == nil || !p.cfg.enabled() {
+		return nil
+	}
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		keep(p.cpu.Close())
+		p.cpu = nil
+	}
+	if p.cfg.MemFile != "" {
+		f, err := os.Create(p.cfg.MemFile)
+		keep(err)
+		if err == nil {
+			runtime.GC() // materialize live-heap statistics
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+	}
+	if p.cfg.BlockFile != "" {
+		f, err := os.Create(p.cfg.BlockFile)
+		keep(err)
+		if err == nil {
+			keep(pprof.Lookup("block").WriteTo(f, 0))
+			keep(f.Close())
+		}
+		runtime.SetBlockProfileRate(0)
+	}
+	p.cfg = ProfileConfig{}
+	return first
+}

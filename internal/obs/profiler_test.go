@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfilerDisabled(t *testing.T) {
+	p, err := StartProfiler(ProfileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != nil {
+		t.Fatal("disabled config should return a nil profiler")
+	}
+	if err := p.Stop(); err != nil { // nil receiver must be safe
+		t.Fatal(err)
+	}
+}
+
+func TestProfilerWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ProfileConfig{
+		CPUFile:   filepath.Join(dir, "cpu.pprof"),
+		MemFile:   filepath.Join(dir, "mem.pprof"),
+		BlockFile: filepath.Join(dir, "block.pprof"),
+	}
+	p, err := StartProfiler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate some work so the profiles have something to hold.
+	sink := make([]byte, 0, 1<<16)
+	for i := 0; i < 1000; i++ {
+		sink = append(sink, byte(i))
+	}
+	_ = sink
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil { // second Stop no-ops
+		t.Fatal(err)
+	}
+	for _, path := range []string{cfg.CPUFile, cfg.MemFile, cfg.BlockFile} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestProfilerBadPath(t *testing.T) {
+	_, err := StartProfiler(ProfileConfig{CPUFile: filepath.Join(t.TempDir(), "no", "such", "dir", "x")})
+	if err == nil {
+		t.Fatal("want error for uncreatable cpu profile file")
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ProgressSink turns the trace event stream into rate-limited,
+// human-readable progress lines for long runs: the current pipeline phase,
+// trials examined (against the enumeration-space size when known), feasible
+// count, and the instantaneous trial rate. It is designed to sit behind a
+// TeeSink next to a file trace, writing to stderr, and never prints more
+// than one line per interval regardless of event volume.
+type ProgressSink struct {
+	mu       sync.Mutex
+	w        io.Writer
+	interval time.Duration
+	now      func() time.Time // injectable clock for tests
+
+	start      time.Time
+	lastPrint  time.Time
+	lastTrials int64
+
+	phase    string
+	preds    int64 // BAD per-partition predictions completed
+	trials   int64
+	feasible int64
+	space    int64 // enumeration-space size, when announced
+	printed  bool
+}
+
+// DefaultProgressInterval is the print throttle used when interval <= 0.
+const DefaultProgressInterval = 500 * time.Millisecond
+
+// NewProgressSink returns a progress sink writing to w at most once per
+// interval (DefaultProgressInterval when interval <= 0).
+func NewProgressSink(w io.Writer, interval time.Duration) *ProgressSink {
+	if interval <= 0 {
+		interval = DefaultProgressInterval
+	}
+	return &ProgressSink{w: w, interval: interval, now: time.Now}
+}
+
+// Emit consumes one trace event, updating the counters and printing a
+// throttled progress line.
+func (s *ProgressSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.now()
+	if s.start.IsZero() {
+		s.start = t
+		s.lastPrint = t
+	}
+	switch ev.Kind {
+	case KindBegin:
+		switch ev.Name {
+		case "Run", "PredictPartitions", "Search":
+			s.phase = ev.Name
+		}
+	case KindEnd:
+		if ev.Name == "BAD" {
+			s.preds++
+		}
+	case KindPoint:
+		switch ev.Name {
+		case "trial":
+			s.trials++
+			if f, _ := ev.Fields["feasible"].(bool); f {
+				s.feasible++
+			}
+		case "space":
+			// Accumulate: multi-search runs (the experiments) announce one
+			// space per search, and trials count across all of them.
+			if n, ok := numField(ev.Fields["combinations"]); ok {
+				s.space += n
+			}
+		}
+	}
+	if t.Sub(s.lastPrint) < s.interval {
+		return
+	}
+	s.print(t)
+}
+
+// Flush prints one final line summarizing the run so far (even if the
+// throttle would suppress it). Call it once after the run finishes.
+func (s *ProgressSink) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.start.IsZero() {
+		return // no events at all
+	}
+	s.print(s.now())
+}
+
+// print emits one progress line; the caller holds s.mu.
+func (s *ProgressSink) print(t time.Time) {
+	dt := t.Sub(s.lastPrint).Seconds()
+	rate := ""
+	if dt > 0 && s.trials > s.lastTrials {
+		rate = fmt.Sprintf(" (%.0f trials/s)", float64(s.trials-s.lastTrials)/dt)
+	}
+	trials := strconv.FormatInt(s.trials, 10)
+	if s.space > 0 {
+		trials += "/" + strconv.FormatInt(s.space, 10)
+	}
+	phase := s.phase
+	if phase == "" {
+		phase = "run"
+	}
+	fmt.Fprintf(s.w, "chop: %-17s predictions=%d trials=%s feasible=%d%s elapsed=%s\n",
+		phase, s.preds, trials, s.feasible, rate,
+		t.Sub(s.start).Round(time.Millisecond))
+	s.lastPrint = t
+	s.lastTrials = s.trials
+	s.printed = true
+}
+
+// numField reads a numeric trace field, which arrives as an int family
+// from a live tracer but as float64 after a JSON round trip.
+func numField(v any) (int64, bool) {
+	switch n := v.(type) {
+	case int:
+		return int64(n), true
+	case int64:
+		return n, true
+	case float64:
+		return int64(n), true
+	}
+	return 0, false
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when told, making throttle behavior deterministic.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestProgress(buf *strings.Builder, interval time.Duration) (*ProgressSink, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	s := NewProgressSink(buf, interval)
+	s.now = clk.now
+	return s, clk
+}
+
+func trialEvent(feasible bool) Event {
+	return Event{Kind: KindPoint, Name: "trial", Fields: map[string]any{"feasible": feasible}}
+}
+
+func TestProgressThrottle(t *testing.T) {
+	var buf strings.Builder
+	s, clk := newTestProgress(&buf, time.Second)
+	s.Emit(Event{Kind: KindBegin, Name: "Run"})
+	for i := 0; i < 100; i++ {
+		s.Emit(trialEvent(false))
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("printed before the interval elapsed: %q", buf.String())
+	}
+	clk.advance(1100 * time.Millisecond)
+	s.Emit(trialEvent(true))
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly 1 line after interval, got %d: %q", len(lines), buf.String())
+	}
+	// Another burst within the interval stays silent.
+	for i := 0; i < 50; i++ {
+		s.Emit(trialEvent(false))
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("throttle failed: %d lines", got)
+	}
+}
+
+func TestProgressContent(t *testing.T) {
+	var buf strings.Builder
+	s, clk := newTestProgress(&buf, time.Second)
+	s.Emit(Event{Kind: KindBegin, Name: "Run"})
+	s.Emit(Event{Kind: KindBegin, Name: "PredictPartitions"})
+	s.Emit(Event{Kind: KindEnd, Name: "BAD"})
+	s.Emit(Event{Kind: KindEnd, Name: "BAD"})
+	s.Emit(Event{Kind: KindBegin, Name: "Search"})
+	// Space sizes accumulate across searches (multi-search runs announce
+	// one per search): 25 + 15 = 40.
+	s.Emit(Event{Kind: KindPoint, Name: "space", Fields: map[string]any{"combinations": 25}})
+	s.Emit(Event{Kind: KindPoint, Name: "space", Fields: map[string]any{"combinations": 15}})
+	for i := 0; i < 9; i++ {
+		s.Emit(trialEvent(i%3 == 0))
+	}
+	clk.advance(2 * time.Second)
+	s.Flush()
+	line := buf.String()
+	for _, want := range []string{"Search", "predictions=2", "trials=9/40", "feasible=3"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line %q missing %q", line, want)
+		}
+	}
+}
+
+// TestProgressReplayedFields checks the JSON-decoded shape (float64 space
+// size, as replayed traces deliver) is understood too.
+func TestProgressReplayedFields(t *testing.T) {
+	var buf strings.Builder
+	s, clk := newTestProgress(&buf, time.Second)
+	s.Emit(Event{Kind: KindPoint, Name: "space", Fields: map[string]any{"combinations": float64(25)}})
+	s.Emit(trialEvent(false))
+	clk.advance(2 * time.Second)
+	s.Flush()
+	if !strings.Contains(buf.String(), "trials=1/25") {
+		t.Errorf("float64 space field not recognized: %q", buf.String())
+	}
+}
+
+func TestProgressFlushWithoutEvents(t *testing.T) {
+	var buf strings.Builder
+	s, _ := newTestProgress(&buf, time.Second)
+	s.Flush()
+	if buf.Len() != 0 {
+		t.Errorf("Flush with no events printed %q", buf.String())
+	}
+}

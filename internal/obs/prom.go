@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition for the Metrics registry.
+//
+// Registry names follow the pipeline's `<pkg>.<name>` convention
+// ("core.reject.chip-area", "bad.predict_us"); exposition maps them to
+// legal Prometheus names by prefixing "chop_" and escaping every character
+// outside [a-zA-Z0-9_:] to '_'. Counters render as counter families,
+// histograms as cumulative-bucket histogram families over the registry's
+// base-2 buckets. Output is deterministically ordered (sorted by the
+// original registry name) so it can be golden-tested and diffed.
+
+// PromName maps a registry metric name to a legal Prometheus metric name:
+// "chop_" + the name with every character outside [a-zA-Z0-9_:] replaced
+// by '_'.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 5)
+	b.WriteString("chop_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value the way Prometheus expects: shortest
+// round-trip decimal, with +Inf/-Inf/NaN spelled out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes the registry in Prometheus text exposition format
+// (version 0.0.4). Safe on a nil registry (writes nothing).
+func (m *Metrics) WriteProm(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	cnames := make([]string, 0, len(m.counters))
+	for k := range m.counters {
+		cnames = append(cnames, k)
+	}
+	sort.Strings(cnames)
+	for _, k := range cnames {
+		n := PromName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, m.counters[k]); err != nil {
+			return err
+		}
+	}
+
+	hnames := make([]string, 0, len(m.hists))
+	for k := range m.hists {
+		hnames = append(hnames, k)
+	}
+	sort.Strings(hnames)
+	for _, k := range hnames {
+		if err := writePromHist(w, PromName(k), m.hists[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHist renders one histogram family: cumulative counts at each
+// occupied base-2 bucket bound, the mandatory +Inf bucket, then sum and
+// count. Empty buckets are elided (Prometheus buckets may be sparse).
+func writePromHist(w io.Writer, name string, h *hist) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for b, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+			name, promFloat(math.Exp2(float64(b))), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		name, h.count, name, promFloat(h.sum), name, h.count)
+	return err
+}
+
+// PromText renders the registry in Prometheus text exposition format.
+func (m *Metrics) PromText() string {
+	var b strings.Builder
+	m.WriteProm(&b) // strings.Builder never errors
+	return b.String()
+}
+
+// Vars flattens the registry into an expvar-style map: counters under their
+// registry name, histograms expanded into <name>.count/.sum/.min/.max/
+// .mean/.p50/.p90/.p99 entries. Marshalling the result produces a
+// /debug/vars-shaped JSON document with deterministically sorted keys.
+// Safe on a nil registry (returns an empty map).
+func (m *Metrics) Vars() map[string]any {
+	out := make(map[string]any)
+	s := m.Snapshot()
+	for k, v := range s.Counters {
+		out[k] = v
+	}
+	for k, h := range s.Histograms {
+		out[k+".count"] = h.Count
+		out[k+".sum"] = h.Sum
+		out[k+".min"] = h.Min
+		out[k+".max"] = h.Max
+		out[k+".mean"] = h.Mean
+		out[k+".p50"] = h.P50
+		out[k+".p90"] = h.P90
+		out[k+".p99"] = h.P99
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTeeSink(t *testing.T) {
+	a, b := NewCountingSink(), NewCountingSink()
+	tee := NewTeeSink(a, nil, b)
+	tee.Emit(Event{Kind: KindPoint, Name: "x"})
+	tee.Emit(Event{Kind: KindPoint, Name: "y"})
+	for _, s := range []*CountingSink{a, b} {
+		if s.Total() != 2 {
+			t.Errorf("sink saw %d events, want 2", s.Total())
+		}
+	}
+}
+
+func TestTeeSinkDegenerate(t *testing.T) {
+	if NewTeeSink() != nil {
+		t.Error("empty tee should be nil")
+	}
+	if NewTeeSink(nil, nil) != nil {
+		t.Error("all-nil tee should be nil")
+	}
+	c := NewCountingSink()
+	if got := NewTeeSink(nil, c); got != Sink(c) {
+		t.Error("single-sink tee should return the sink unwrapped")
+	}
+	// And a nil tee result must disable tracing entirely through New.
+	if tr := New(NewTeeSink()); tr.Enabled() {
+		t.Error("tracer over empty tee should be disabled")
+	}
+}
+
+func TestPushSink(t *testing.T) {
+	var got []string
+	s := PushSink(func(ev Event) { got = append(got, ev.Name) })
+	tr := New(s)
+	sp := tr.Span("Run")
+	sp.Point("trial")
+	sp.End()
+	if len(got) != 3 || got[0] != "Run" || got[1] != "trial" || got[2] != "Run" {
+		t.Errorf("push sink saw %v", got)
+	}
+}
+
+func TestFileSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	fs, err := NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(fs)
+	sp := tr.Span("Run")
+	for i := 0; i < 100; i++ {
+		sp.Point("trial", F("i", i))
+	}
+	sp.End()
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-close emits are dropped, not written to the closed file.
+	fs.Emit(Event{Kind: KindPoint, Name: "late"})
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var n int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", n+1, err)
+		}
+		if ev.Name == "late" {
+			t.Fatal("post-close event reached the file")
+		}
+		n++
+	}
+	if n != 102 { // begin + 100 points + end
+		t.Fatalf("file holds %d events, want 102", n)
+	}
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func createTemp(b *testing.B) (*os.File, error) {
+	return os.Create(filepath.Join(b.TempDir(), "trace.jsonl"))
+}
+
+// The trace-write benchmarks compare the original unbuffered arrangement
+// (WriterSink directly over an os.File: one write syscall per event) with
+// FileSink's buffered writer. The CLI's -trace flag uses FileSink.
+
+func benchEvent(i int) Event {
+	return Event{
+		TNS: int64(i), Kind: KindPoint, Name: "trial", Span: 3,
+		Fields: map[string]any{"ii": 12, "feasible": false, "reason": "chip-area"},
+	}
+}
+
+func BenchmarkWriterSinkUnbufferedFile(b *testing.B) {
+	f, err := createTemp(b)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	s := NewWriterSink(f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Emit(benchEvent(i))
+	}
+	b.StopTimer()
+	if err := s.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkFileSinkBuffered(b *testing.B) {
+	s, err := NewFileSink(filepath.Join(b.TempDir(), "trace.jsonl"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Emit(benchEvent(i))
+	}
+	b.StopTimer()
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
