@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench gobench ci
+.PHONY: all build vet lint test race bench gobench cover serve ci
 
 all: build
 
@@ -33,6 +33,16 @@ bench:
 # gobench runs the in-tree go test benchmarks (overhead gates etc.).
 gobench:
 	$(GO) test -run XXX -bench . -benchmem ./...
+
+# cover writes coverage.out plus a browsable HTML report.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -html=coverage.out -o coverage.html
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# serve starts the HTTP service plane on :8080.
+serve:
+	$(GO) run ./cmd/chop serve -addr :8080 -log-level debug
 
 # ci is what .github/workflows/ci.yml runs.
 ci: lint build race

@@ -52,6 +52,7 @@ import (
 	"chop/internal/mem"
 	"chop/internal/obs"
 	"chop/internal/rtl"
+	"chop/internal/serve"
 	"chop/internal/sim"
 	"chop/internal/stats"
 )
@@ -297,6 +298,16 @@ type (
 	Profiler = obs.Profiler
 	// ProfileConfig names the profile output files for StartProfiler.
 	ProfileConfig = obs.ProfileConfig
+	// RingSink is a bounded trace buffer with replay and live fan-out:
+	// Subscribe returns the retained events plus a channel of what comes
+	// next, and slow subscribers lose their oldest pending events rather
+	// than stalling the run (see RingSub.Dropped).
+	RingSink = obs.RingSink
+	// RingSub is one live subscription to a RingSink.
+	RingSub = obs.RingSub
+	// BuildInfo is the binary's build identity (go version, VCS revision)
+	// as read from the runtime's embedded build metadata.
+	BuildInfo = obs.BuildInfo
 )
 
 var (
@@ -326,6 +337,49 @@ var (
 	// ReplayTrace aggregates a JSONL trace stream into a TraceReport;
 	// its Format method renders the human-readable explanation.
 	ReplayTrace = obs.Replay
+	// NewRingSink builds a bounded replay/fan-out trace buffer (capacity
+	// <= 0 selects the default 4096 events).
+	NewRingSink = obs.NewRingSink
+	// ReadBuildInfo reads the binary's build identity (never fails;
+	// degrades to "unknown" fields).
+	ReadBuildInfo = obs.ReadBuildInfo
+	// RecordBuildInfo exposes the build identity on a Metrics registry as
+	// the chop_build_info{go_version,vcs_revision} gauge.
+	RecordBuildInfo = obs.RecordBuildInfo
+)
+
+// Service plane types (package serve): an embeddable HTTP server that runs
+// partitioning jobs through a bounded worker pool, streams their traces as
+// Server-Sent Events, and exposes the metrics registry on /metrics. `chop
+// serve` is the CLI front end.
+type (
+	// ServeOptions parameterizes NewServer (address, concurrency bound,
+	// queue depth, ring capacity, shutdown grace, logger, job table).
+	ServeOptions = serve.Options
+	// Server is the CHOP service plane; mount Handler() or call
+	// ListenAndServe, stop with Drain.
+	Server = serve.Server
+	// ServeRegistry supervises submitted runs (worker pool + state).
+	ServeRegistry = serve.Registry
+	// ServeJob defines one run kind: an executable plus an optional
+	// submission-time validator.
+	ServeJob = serve.Job
+	// ServeJobContext carries the per-run tracer, metrics and logger into
+	// a ServeJob.
+	ServeJobContext = serve.JobContext
+	// RunState is a run's lifecycle state (queued/running/done/failed/
+	// canceled).
+	RunState = serve.State
+	// RunStatus is the API form of one run's state and result.
+	RunStatus = serve.RunStatus
+)
+
+var (
+	// NewServer builds the service plane and starts its worker pool.
+	NewServer = serve.New
+	// DefaultServeJobs is the built-in run-kind table: eval, synth, exp1,
+	// exp2.
+	DefaultServeJobs = serve.DefaultJobs
 )
 
 // Benchmark harness types (package benchkit). `chop bench` is the CLI

@@ -12,6 +12,8 @@
 //	chop advise -f spec.json  interactive advisor session (commands on stdin)
 //	chop explain -f trace.jsonl  replay a -trace file into a readable report
 //	chop bench             run the performance harness, emit/compare BENCH JSON
+//	chop serve             start the HTTP service plane (runs, SSE traces, /metrics)
+//	chop version           print the binary's build identity
 //
 // The run-style commands (eval, synth, exp1, exp2, advise) share the
 // observability flags: -trace <file> records a JSONL trace, -metrics
@@ -75,6 +77,10 @@ func main() {
 		err = synth(os.Args[2:])
 	case "accuracy":
 		err = accuracy()
+	case "serve":
+		err = serveCmd(os.Args[2:])
+	case "version":
+		err = version()
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -104,6 +110,11 @@ func usage() {
   accuracy             compare BAD predictions against bound netlists
   bench                run the performance harness (-json writes BENCH_<n>.json,
                        -compare old.json new.json gates regressions)
+  serve                start the HTTP service plane (-addr, -max-concurrent,
+                       -queue, -ring, -grace, -log-level, -log-json); submit
+                       runs on POST /api/v1/runs, stream traces on
+                       /api/v1/runs/{id}/events, scrape /metrics
+  version              print the binary's build identity (go version, revision)
 
 eval, synth, exp1, exp2 and advise also accept:
   -trace file          record a JSONL trace of the run (replay with 'chop explain')
@@ -235,7 +246,9 @@ func addObsFlags(fs *flag.FlagSet) *obsFlags {
 // attach wires the requested tracer, metrics registry, progress sink and
 // profilers into cfg and returns a finish function to call once the run is
 // over: it prints the final progress line and the metrics dumps, flushes
-// and closes the buffered trace file, and stops the profilers.
+// and closes the buffered trace file, and stops the profilers. Output files
+// (-trace, -prom) are created eagerly so unwritable paths fail here, before
+// the run; on error, attach closes whatever it had already opened.
 func (o *obsFlags) attach(cfg *core.Config) (func() error, error) {
 	var sinks []obs.Sink
 	var file *obs.FileSink
@@ -258,6 +271,20 @@ func (o *obsFlags) attach(cfg *core.Config) (func() error, error) {
 		m = obs.NewMetrics()
 		cfg.Metrics = m
 	}
+	// Create the -prom file now, not after the run: an unwritable path
+	// must fail before minutes of search, and everything opened so far
+	// must be closed on the way out.
+	var promFile *os.File
+	if *o.prom != "" {
+		var err error
+		promFile, err = os.Create(*o.prom)
+		if err != nil {
+			if file != nil {
+				file.Close()
+			}
+			return nil, err
+		}
+	}
 	prof, err := obs.StartProfiler(obs.ProfileConfig{
 		CPUFile:   *o.cpuprofile,
 		MemFile:   *o.memprofile,
@@ -266,6 +293,9 @@ func (o *obsFlags) attach(cfg *core.Config) (func() error, error) {
 	if err != nil {
 		if file != nil {
 			file.Close()
+		}
+		if promFile != nil {
+			promFile.Close()
 		}
 		return nil, err
 	}
@@ -283,8 +313,11 @@ func (o *obsFlags) attach(cfg *core.Config) (func() error, error) {
 			fmt.Println("\nmetrics:")
 			fmt.Print(m.Text())
 		}
-		if *o.prom != "" {
-			keep(os.WriteFile(*o.prom, []byte(m.PromText()), 0o644))
+		if promFile != nil {
+			if _, err := promFile.WriteString(m.PromText()); err != nil {
+				keep(fmt.Errorf("prom: %w", err))
+			}
+			keep(promFile.Close())
 		}
 		if file != nil {
 			if err := file.Close(); err != nil {

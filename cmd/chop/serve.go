@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"chop/internal/obs"
+	"chop/internal/serve"
+)
+
+// logFlags is the structured-logging flag pair shared by commands that emit
+// slog records: -log-level selects the threshold, -log-json switches the
+// handler from human-readable text to one-JSON-object-per-line.
+type logFlags struct {
+	level *string
+	json  *bool
+}
+
+func addLogFlags(fs *flag.FlagSet) *logFlags {
+	return &logFlags{
+		level: fs.String("log-level", "info", "log threshold: debug, info, warn, error"),
+		json:  fs.Bool("log-json", false, "emit logs as JSON lines instead of text"),
+	}
+}
+
+// logger builds the slog.Logger the flags describe, writing to stderr so
+// command output on stdout stays machine-consumable.
+func (l *logFlags) logger() (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*l.level)); err != nil {
+		return nil, fmt.Errorf("-log-level: %w", err)
+	}
+	ho := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	if *l.json {
+		h = slog.NewJSONHandler(os.Stderr, ho)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, ho)
+	}
+	return slog.New(h), nil
+}
+
+// serveCmd runs the CHOP HTTP service plane until SIGINT/SIGTERM, then
+// drains gracefully: readiness flips to 503, queued runs are cancelled,
+// in-flight search contexts are cancelled, and open SSE streams close.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	maxConcurrent := fs.Int("max-concurrent", 0, "max simultaneously executing runs (0 = NumCPU)")
+	queue := fs.Int("queue", 0, "queued-run backlog beyond the concurrency bound (0 = default 64)")
+	ring := fs.Int("ring", 0, "per-run trace replay ring capacity (0 = default 4096)")
+	grace := fs.Duration("grace", 0, "graceful-shutdown grace period (0 = default 10s)")
+	lf := addLogFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	log, err := lf.logger()
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(log)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	bi := obs.ReadBuildInfo()
+	log.Info("chop serve starting", "addr", *addr,
+		"goVersion", bi.GoVersion, "revision", bi.Revision)
+	s := serve.New(serve.Options{
+		Addr:          *addr,
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    *queue,
+		RingCapacity:  *ring,
+		ShutdownGrace: *grace,
+		Log:           log,
+	})
+	return s.ListenAndServe(ctx)
+}
+
+// version prints the binary's build identity — the same facts /metrics
+// exposes as the chop_build_info gauge.
+func version() error {
+	bi := obs.ReadBuildInfo()
+	dirty := ""
+	if bi.Dirty {
+		dirty = " (modified)"
+	}
+	fmt.Printf("chop %s\n  module:   %s\n  revision: %s%s\n", bi.GoVersion, bi.Module, bi.Revision, dirty)
+	return nil
+}

@@ -1,0 +1,96 @@
+// Serve: embed the CHOP service plane in a program. The server mounts as a
+// plain http.Handler (here on httptest's in-process listener), runs an eval
+// job submitted over POST /api/v1/runs, follows its live trace on the SSE
+// endpoint, and scrapes /metrics — the same surface `chop serve` exposes on
+// a real port.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	chop "chop"
+	"chop/internal/spec"
+)
+
+func main() {
+	srv := chop.NewServer(chop.ServeOptions{MaxConcurrent: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	// Submit the example partitioning problem (what `chop spec` prints).
+	raw, err := json.Marshal(spec.Example())
+	if err != nil {
+		log.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"kind":"eval","spec":%s}`, raw)
+	resp, err := http.Post(ts.URL+"/api/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var run chop.RunStatus
+	json.NewDecoder(resp.Body).Decode(&run)
+	resp.Body.Close()
+	fmt.Printf("submitted run %s (state %s)\n", run.ID, run.State)
+
+	// Stream its trace: replay of the bounded ring, then live events,
+	// then one `done` event carrying the final status.
+	events, err := http.Get(ts.URL + "/api/v1/runs/" + run.ID + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer events.Body.Close()
+	traces := 0
+	sc := bufio.NewScanner(events.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: trace") {
+			traces++
+		}
+		if strings.HasPrefix(line, "event: done") {
+			break
+		}
+	}
+	fmt.Printf("streamed %d trace events over SSE\n", traces)
+
+	// The run's result is retained until the server shuts down.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/api/v1/runs/" + run.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		json.NewDecoder(resp.Body).Decode(&run)
+		resp.Body.Close()
+		if run.State.Terminal() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("run %s finished: state=%s traceEvents=%d\n", run.ID, run.State, run.TraceEvents)
+
+	// /metrics carries the pipeline counters merged from the finished run
+	// alongside the server's own request-latency families.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	msc := bufio.NewScanner(mresp.Body)
+	for msc.Scan() {
+		line := msc.Text()
+		if strings.HasPrefix(line, "chop_core_trials ") ||
+			strings.HasPrefix(line, "chop_serve_runs_done ") ||
+			strings.HasPrefix(line, "chop_build_info{") {
+			fmt.Println(line)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"chop/internal/bad"
+	"chop/internal/obs"
+)
+
+// TestRunPreCanceledContext: a context cancelled before the run starts
+// stops the pipeline at the first boundary with a wrapped context error.
+func TestRunPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, h := range []Heuristic{Enumeration, Iterative} {
+		cfg := exp1Config()
+		cfg.Ctx = ctx
+		_, _, err := Run(arPartitioning(t, 2, 1), cfg, h)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", h, err)
+		}
+	}
+}
+
+// TestSearchMidRunCancel cancels from inside the trial loop (via a tracer
+// hook on the first trial event) and checks the search stops early instead
+// of enumerating the whole space.
+func TestSearchMidRunCancel(t *testing.T) {
+	p := arPartitioning(t, 3, 1)
+	cfg := exp1Config()
+
+	// Baseline trial count without cancellation.
+	full, _, err := Run(p, cfg, Enumeration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Trials < 10 {
+		t.Skipf("space too small to observe early stop (%d trials)", full.Trials)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Ctx = ctx
+	trials := 0
+	cfg.Trace = obs.New(obs.PushSink(func(ev obs.Event) {
+		if ev.Kind == obs.KindPoint && ev.Name == "trial" {
+			trials++
+			if trials == 3 {
+				cancel()
+			}
+		}
+	}))
+	res, _, err := Run(p, cfg, Enumeration)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Trials >= full.Trials {
+		t.Fatalf("cancelled run examined %d trials, full run %d — no early stop", res.Trials, full.Trials)
+	}
+}
+
+// TestDeadlineExpiresDuringSearch uses an already-expired deadline.
+func TestDeadlineExpiresDuringSearch(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	cfg := exp2Config()
+	cfg.Ctx = ctx
+	_, err := Search(arPartitioning(t, 2, 1), cfg, mustPredict(t, 2), Iterative)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// mustPredict produces predictions without a context so the cancellation
+// under test hits the search stage, not the prediction stage.
+func mustPredict(t *testing.T, n int) []bad.Result {
+	t.Helper()
+	preds, err := PredictPartitions(arPartitioning(t, n, 1), exp2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return preds
+}

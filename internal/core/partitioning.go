@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"chop/internal/bad"
@@ -199,6 +200,12 @@ type Config struct {
 	// MaxCombinations caps the explicit enumeration heuristic's
 	// combination count; 0 keeps the default guard of 5,000,000.
 	MaxCombinations int
+	// Ctx optionally bounds the run: when it is cancelled (deadline, user
+	// abort, server shutdown) the prediction and search loops stop at the
+	// next trial boundary and return the context's error. Nil — the
+	// default — runs to completion. The check is a single atomic load per
+	// trial, invisible next to the integration work a trial performs.
+	Ctx context.Context
 	// Trace receives hierarchical timed spans (Run → PredictPartitions →
 	// per-partition BAD → Search → per-trial integrate) and structured
 	// events (trial examined with its rejection reason, pruning decision,
@@ -237,6 +244,18 @@ func (c Config) badConfig(chips chip.Set) bad.Config {
 	}
 }
 
+// canceled returns the wrapped context error once Config.Ctx is done, nil
+// while the run may continue. The happy path is one atomic load.
+func (c Config) canceled() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	if err := c.Ctx.Err(); err != nil {
+		return fmt.Errorf("core: run canceled: %w", err)
+	}
+	return nil
+}
+
 // PredictPartitions runs BAD on every partition (the first step of the
 // paper's method, section 2.4) and returns the per-partition prediction
 // results, fastest-first. Level-1 pruning is applied unless cfg.KeepAll.
@@ -256,6 +275,10 @@ func predictPartitions(p *Partitioning, cfg Config, parent *obs.Span) ([]bad.Res
 	subs := p.Subgraphs()
 	out := make([]bad.Result, len(subs))
 	for i, sub := range subs {
+		if err := cfg.canceled(); err != nil {
+			sp.End(obs.F("error", err.Error()))
+			return nil, err
+		}
 		bc := cfg.badConfig(p.Chips)
 		psp := sp.Child("BAD", obs.F("partition", i+1), obs.F("nodes", len(sub.Nodes)))
 		bc.Span = psp

@@ -145,6 +145,9 @@ func enumerate(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (
 	idx := make([]int, len(lists))
 	choice := make([]bad.Design, len(lists))
 	for {
+		if err := cfg.canceled(); err != nil {
+			return res, err
+		}
 		for i, j := range idx {
 			choice[i] = lists[i][j]
 		}
@@ -240,6 +243,9 @@ func iterative(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (
 			continue
 		}
 		for {
+			if err := cfg.canceled(); err != nil {
+				return res, err
+			}
 			choice := make([]bad.Design, len(lists))
 			for i := range lists {
 				choice[i] = lists[i][w[i]]

@@ -1,0 +1,59 @@
+package obs
+
+import "runtime/debug"
+
+// BuildInfo identifies the running binary, read from the metadata the Go
+// linker embeds in every build (runtime/debug.ReadBuildInfo) — no ldflags
+// stamping required.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary ("go1.24.0").
+	GoVersion string
+	// Revision is the VCS revision the binary was built from, "unknown"
+	// when the build had no VCS metadata (e.g. `go test` in a tarball).
+	Revision string
+	// Dirty reports uncommitted local modifications at build time.
+	Dirty bool
+	// Module is the main module path ("chop").
+	Module string
+}
+
+// ReadBuildInfo extracts the binary's build identity. It degrades to
+// "unknown" fields rather than failing, so it is always safe to expose.
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{GoVersion: "unknown", Revision: "unknown", Module: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.GoVersion != "" {
+		bi.GoVersion = info.GoVersion
+	}
+	if info.Main.Path != "" {
+		bi.Module = info.Main.Path
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if s.Value != "" {
+				bi.Revision = s.Value
+			}
+		case "vcs.modified":
+			bi.Dirty = s.Value == "true"
+		}
+	}
+	return bi
+}
+
+// RecordBuildInfo exposes the binary's build identity on the registry as
+// the conventional Prometheus info gauge:
+//
+//	chop_build_info{go_version="go1.24.0",vcs_revision="abc123"} 1
+//
+// Safe on a nil registry.
+func RecordBuildInfo(m *Metrics) {
+	bi := ReadBuildInfo()
+	m.SetGaugeLabels("build_info", map[string]string{
+		"go_version":   bi.GoVersion,
+		"vcs_revision": bi.Revision,
+	}, 1)
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTP server instrumentation helpers: a wrapping http.Handler that feeds
+// the registry the standard server-level signals — per-route request
+// latency histograms, per-route/status-class counters and an in-flight
+// gauge — using the same flat naming convention as the pipeline metrics
+// ("serve.http.<route>_us"), so one registry exposes pipeline and server
+// families side by side on /metrics.
+
+// MetricsNamespace* are the registry names InstrumentHandler writes.
+const (
+	httpPrefix     = "serve.http."
+	httpInFlight   = "serve.http.in_flight"
+	httpRequestsUS = "serve.http.request_us" // aggregate across routes
+)
+
+// statusWriter captures the response code while forwarding the Flusher
+// interface, which streaming handlers (SSE) require to survive wrapping.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer when it supports flushing, so
+// SSE responses stream through the instrumentation unbuffered.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// statusClass renders an HTTP status family ("2xx", "4xx", ...).
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	case code >= 200:
+		return "2xx"
+	}
+	return "1xx"
+}
+
+// InstrumentHandler wraps next so every request records, on m:
+//
+//	serve.http.<route>_us            latency histogram for the route
+//	serve.http.request_us            latency histogram across all routes
+//	serve.http.<route>.<class>       counter per status class (2xx, 4xx, ...)
+//	serve.http.requests              counter across all routes
+//	serve.http.in_flight             gauge of currently-executing requests
+//
+// route should be a short static label ("get_run", "metrics"), never a
+// request-derived string, to keep the registry cardinality bounded. A nil
+// registry disables recording but still serves. Safe for streaming
+// handlers: the wrapped writer forwards http.Flusher.
+func InstrumentHandler(m *Metrics, route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if m == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		m.AddGauge(httpInFlight, 1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			us := float64(time.Since(start).Nanoseconds()) / 1e3
+			if sw.status == 0 {
+				sw.status = http.StatusOK // handler wrote nothing
+			}
+			m.Observe(httpPrefix+route+"_us", us)
+			m.Observe(httpRequestsUS, us)
+			m.Inc(httpPrefix + route + "." + statusClass(sw.status))
+			m.Inc("serve.http.requests")
+			m.AddGauge(httpInFlight, -1)
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}

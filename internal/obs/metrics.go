@@ -10,12 +10,13 @@ import (
 	"time"
 )
 
-// Metrics is a concurrency-safe counter and histogram registry. A nil
-// *Metrics is valid and drops every update, so instrumented code needs no
-// enabled-checks outside hot loops. The zero value is ready to use.
+// Metrics is a concurrency-safe counter, gauge and histogram registry. A
+// nil *Metrics is valid and drops every update, so instrumented code needs
+// no enabled-checks outside hot loops. The zero value is ready to use.
 type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]int64
+	gauges   map[string]*gauge
 	hists    map[string]*hist
 }
 
@@ -46,6 +47,163 @@ func (m *Metrics) Counter(name string) int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.counters[name]
+}
+
+// gauge is one point-in-time value, optionally carrying a rendered
+// Prometheus label block (`{k="v",...}`). Registry maps key gauges by
+// name+labels so one name can expose several labeled series.
+type gauge struct {
+	name   string // registry name without labels
+	labels string // rendered label block, "" when unlabeled
+	val    float64
+}
+
+// key returns the registry key (and display name) of the gauge.
+func (g *gauge) key() string { return g.name + g.labels }
+
+// SetGauge sets the named gauge to v.
+func (m *Metrics) SetGauge(name string, v float64) { m.setGauge(name, "", v, false) }
+
+// AddGauge adds delta (which may be negative) to the named gauge. Gauges
+// start at 0, so matched +1/-1 pairs implement in-flight counts.
+func (m *Metrics) AddGauge(name string, delta float64) { m.setGauge(name, "", delta, true) }
+
+// SetGaugeLabels sets a labeled gauge series, e.g. the build-info idiom
+//
+//	m.SetGaugeLabels("build_info", map[string]string{"go_version": v}, 1)
+//
+// which exposes as `chop_build_info{go_version="..."} 1`. Labels are
+// rendered sorted by key with Prometheus escaping, so the series identity
+// is deterministic.
+func (m *Metrics) SetGaugeLabels(name string, labels map[string]string, v float64) {
+	m.setGauge(name, renderLabels(labels), v, false)
+}
+
+func (m *Metrics) setGauge(name, labels string, v float64, add bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.gauges == nil {
+		m.gauges = make(map[string]*gauge)
+	}
+	g := m.gauges[name+labels]
+	if g == nil {
+		g = &gauge{name: name, labels: labels}
+		m.gauges[name+labels] = g
+	}
+	if add {
+		g.val += v
+	} else {
+		g.val = v
+	}
+	m.mu.Unlock()
+}
+
+// Gauge returns the current value of an unlabeled gauge (0 if absent).
+func (m *Metrics) Gauge(name string) float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g := m.gauges[name]; g != nil {
+		return g.val
+	}
+	return 0
+}
+
+// renderLabels renders a Prometheus label block with sorted keys and
+// escaped values (backslash, double quote and newline, per the text
+// exposition format). Returns "" for an empty map.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		v := labels[k]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Merge folds another registry into m: counters add, histograms merge
+// bucket-wise (count, sum, min, max and bucket occupancy all combine), and
+// gauges take the other registry's latest value. It lets a long-lived
+// aggregate registry (the serve package's global /metrics) absorb the
+// per-run registries jobs were executed with. Nil receivers and nil/empty
+// arguments are no-ops; other is locked only while its state is copied, so
+// concurrent updates to either registry stay safe.
+func (m *Metrics) Merge(other *Metrics) {
+	if m == nil || other == nil {
+		return
+	}
+	// Deep-copy other's state under its own lock, then apply under m's, so
+	// the two locks are never held together (no ordering deadlock).
+	other.mu.Lock()
+	counters := make(map[string]int64, len(other.counters))
+	for k, v := range other.counters {
+		counters[k] = v
+	}
+	gauges := make([]gauge, 0, len(other.gauges))
+	for _, g := range other.gauges {
+		gauges = append(gauges, *g)
+	}
+	hists := make(map[string]hist, len(other.hists))
+	for k, h := range other.hists {
+		hists[k] = *h // value copy; buckets is an array
+	}
+	other.mu.Unlock()
+
+	for k, v := range counters {
+		m.Add(k, v)
+	}
+	for _, g := range gauges {
+		m.setGauge(g.name, g.labels, g.val, false)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.hists == nil && len(hists) > 0 {
+		m.hists = make(map[string]*hist)
+	}
+	for k, oh := range hists {
+		h := m.hists[k]
+		if h == nil {
+			cp := oh
+			m.hists[k] = &cp
+			continue
+		}
+		if oh.count > 0 {
+			if h.count == 0 || oh.min < h.min {
+				h.min = oh.min
+			}
+			if h.count == 0 || oh.max > h.max {
+				h.max = oh.max
+			}
+			h.count += oh.count
+			h.sum += oh.sum
+			for b := range oh.buckets {
+				h.buckets[b] += oh.buckets[b]
+			}
+		}
+	}
 }
 
 // Observe records one sample into the named histogram. Samples are
@@ -178,9 +336,11 @@ type HistSnapshot struct {
 	P99   float64 `json:"p99"`
 }
 
-// Snapshot is a point-in-time copy of the whole registry.
+// Snapshot is a point-in-time copy of the whole registry. Gauge keys
+// include their rendered label block when the gauge is labeled.
 type Snapshot struct {
 	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
 	Histograms map[string]HistSnapshot `json:"histograms"`
 }
 
@@ -189,6 +349,7 @@ type Snapshot struct {
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
 		Histograms: make(map[string]HistSnapshot),
 	}
 	if m == nil {
@@ -198,6 +359,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	defer m.mu.Unlock()
 	for k, v := range m.counters {
 		s.Counters[k] = v
+	}
+	for k, g := range m.gauges {
+		s.Gauges[k] = g.val
 	}
 	for k, h := range m.hists {
 		q := h.quantiles(0.50, 0.90, 0.99)
@@ -226,6 +390,17 @@ func (m *Metrics) Text() string {
 		sort.Strings(names)
 		for _, k := range names {
 			fmt.Fprintf(&b, "  %-36s %12d\n", k, s.Counters[k])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		names := make([]string, 0, len(s.Gauges))
+		for k := range s.Gauges {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Fprintf(&b, "  %-36s %12g\n", k, s.Gauges[k])
 		}
 	}
 	if len(s.Histograms) > 0 {

@@ -15,9 +15,10 @@ import (
 // ("core.reject.chip-area", "bad.predict_us"); exposition maps them to
 // legal Prometheus names by prefixing "chop_" and escaping every character
 // outside [a-zA-Z0-9_:] to '_'. Counters render as counter families,
-// histograms as cumulative-bucket histogram families over the registry's
-// base-2 buckets. Output is deterministically ordered (sorted by the
-// original registry name) so it can be golden-tested and diffed.
+// gauges as gauge families (labeled series keep their pre-rendered label
+// blocks), histograms as cumulative-bucket histogram families over the
+// registry's base-2 buckets. Output is deterministically ordered (sorted
+// by the original registry name) so it can be golden-tested and diffed.
 
 // PromName maps a registry metric name to a legal Prometheus metric name:
 // "chop_" + the name with every character outside [a-zA-Z0-9_:] replaced
@@ -74,6 +75,34 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 		}
 	}
 
+	// Gauges group by base name: one TYPE line per family, then every
+	// labeled series of that family in label order.
+	gnames := make([]string, 0, len(m.gauges))
+	for k := range m.gauges {
+		gnames = append(gnames, k)
+	}
+	sort.Slice(gnames, func(i, j int) bool {
+		gi, gj := m.gauges[gnames[i]], m.gauges[gnames[j]]
+		if gi.name != gj.name {
+			return gi.name < gj.name
+		}
+		return gi.labels < gj.labels
+	})
+	lastFamily := ""
+	for _, k := range gnames {
+		g := m.gauges[k]
+		n := PromName(g.name)
+		if g.name != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", n); err != nil {
+				return err
+			}
+			lastFamily = g.name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", n, g.labels, promFloat(g.val)); err != nil {
+			return err
+		}
+	}
+
 	hnames := make([]string, 0, len(m.hists))
 	for k := range m.hists {
 		hnames = append(hnames, k)
@@ -117,8 +146,8 @@ func (m *Metrics) PromText() string {
 	return b.String()
 }
 
-// Vars flattens the registry into an expvar-style map: counters under their
-// registry name, histograms expanded into <name>.count/.sum/.min/.max/
+// Vars flattens the registry into an expvar-style map: counters and gauges
+// under their registry name, histograms expanded into <name>.count/.sum/.min/.max/
 // .mean/.p50/.p90/.p99 entries. Marshalling the result produces a
 // /debug/vars-shaped JSON document with deterministically sorted keys.
 // Safe on a nil registry (returns an empty map).
@@ -126,6 +155,9 @@ func (m *Metrics) Vars() map[string]any {
 	out := make(map[string]any)
 	s := m.Snapshot()
 	for k, v := range s.Counters {
+		out[k] = v
+	}
+	for k, v := range s.Gauges {
 		out[k] = v
 	}
 	for k, h := range s.Histograms {

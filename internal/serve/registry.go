@@ -1,0 +1,446 @@
+// Package serve is the HTTP service plane of CHOP: a long-lived server
+// that supervises partitioning runs submitted over a JSON API, executes
+// them on a bounded worker pool, and exposes their internals live — per-run
+// state, Server-Sent-Event trace streams backed by a bounded replay ring,
+// Prometheus metrics, health/readiness and pprof.
+//
+// The package is dependency-free (net/http only) and layered: Registry is
+// the run supervisor (queue, worker pool, lifecycle, cancellation), jobs.go
+// maps run kinds onto the pipeline (eval, synth, exp1/exp2), and server.go
+// plus handlers.go put the HTTP surface on top.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chop/internal/obs"
+)
+
+// State is a run's lifecycle position.
+type State string
+
+// Run lifecycle states. queued → running → done|failed|canceled; a queued
+// run may go straight to canceled.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether no further transition can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobContext carries the per-run observability plumbing into a job: a
+// tracer feeding the run's replay ring (and any live SSE subscribers), a
+// private metrics registry merged into the server-wide one at completion,
+// and a logger pre-tagged with the run id.
+type JobContext struct {
+	Tracer  *obs.Tracer
+	Metrics *obs.Metrics
+	Log     *slog.Logger
+}
+
+// JobFunc executes one run kind. The context is cancelled on run
+// cancellation and server shutdown; implementations must return promptly
+// once it is done (the core pipeline does, via Config.Ctx). The returned
+// value is serialized as the run's result JSON.
+type JobFunc func(ctx context.Context, spec json.RawMessage, jc JobContext) (any, error)
+
+// Job couples execution with optional eager spec validation, so malformed
+// submissions are rejected at the API boundary (400) instead of surfacing
+// as failed runs.
+type Job struct {
+	Run      JobFunc
+	Validate func(spec json.RawMessage) error
+}
+
+// Run is one supervised unit of work. All fields are guarded by mu; the
+// HTTP layer reads through Status().
+type Run struct {
+	mu        sync.Mutex
+	id        string
+	kind      string
+	spec      json.RawMessage
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    any
+	errMsg    string
+	cancelled bool // cancel requested while queued
+	cancel    context.CancelFunc
+
+	ring *obs.RingSink
+}
+
+// ID returns the run's registry identifier.
+func (r *Run) ID() string { return r.id }
+
+// Ring returns the run's bounded trace ring, for streaming subscribers.
+func (r *Run) Ring() *obs.RingSink { return r.ring }
+
+// RunStatus is the API view of a run.
+type RunStatus struct {
+	ID        string          `json:"id"`
+	Kind      string          `json:"kind"`
+	State     State           `json:"state"`
+	Submitted time.Time       `json:"submitted"`
+	Started   *time.Time      `json:"started,omitempty"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Result    any             `json:"result,omitempty"`
+	Spec      json.RawMessage `json:"spec,omitempty"`
+	// TraceEvents is the number of trace events currently retained for
+	// replay; TraceDropped how many older ones the bounded ring has
+	// already discarded.
+	TraceEvents  int   `json:"traceEvents"`
+	TraceDropped int64 `json:"traceDropped"`
+}
+
+// Status snapshots the run. withDetail adds the result payload and the
+// submitted spec (list views stay lean).
+func (r *Run) Status(withDetail bool) RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RunStatus{
+		ID:           r.id,
+		Kind:         r.kind,
+		State:        r.state,
+		Submitted:    r.submitted,
+		Error:        r.errMsg,
+		TraceEvents:  r.ring.Len(),
+		TraceDropped: r.ring.Overwritten(),
+	}
+	if !r.started.IsZero() {
+		t := r.started
+		st.Started = &t
+	}
+	if !r.finished.IsZero() {
+		t := r.finished
+		st.Finished = &t
+	}
+	if withDetail {
+		st.Result = r.result
+		st.Spec = r.spec
+	}
+	return st
+}
+
+// Submission errors, distinguished by the API layer's status mapping.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity (HTTP 503: retry later).
+	ErrQueueFull = errors.New("run queue full")
+	// ErrDraining rejects submissions during graceful shutdown (503).
+	ErrDraining = errors.New("server draining")
+	// ErrUnknownKind rejects an unsupported run kind (400).
+	ErrUnknownKind = errors.New("unknown run kind")
+)
+
+// RegistryOptions parameterizes NewRegistry. Zero values select defaults.
+type RegistryOptions struct {
+	// MaxConcurrent bounds the worker pool (default: runtime.NumCPU()).
+	MaxConcurrent int
+	// QueueDepth bounds the queued-run backlog (default 64); submissions
+	// beyond it fail fast with ErrQueueFull.
+	QueueDepth int
+	// RingCapacity bounds each run's trace replay ring (default 4096).
+	RingCapacity int
+	// Jobs maps run kinds to implementations (default DefaultJobs()).
+	Jobs map[string]Job
+	// Metrics is the server-wide registry; per-run registries merge into
+	// it as runs finish. Nil creates a private one.
+	Metrics *obs.Metrics
+	// Log receives run-transition records. Nil discards.
+	Log *slog.Logger
+}
+
+// Registry supervises runs: a bounded queue feeding a fixed worker pool,
+// with per-run cancellation and observability. It is the non-HTTP heart of
+// the service plane, fully testable without sockets.
+type Registry struct {
+	mu    sync.Mutex
+	runs  map[string]*Run
+	order []string
+
+	queue    chan *Run
+	nextID   atomic.Int64
+	jobs     map[string]Job
+	metrics  *obs.Metrics
+	log      *slog.Logger
+	ringCap  int
+	workers  int
+	baseCtx  context.Context
+	stopAll  context.CancelFunc
+	wg       sync.WaitGroup
+	draining atomic.Bool
+}
+
+// NewRegistry builds the registry and starts its worker pool.
+func NewRegistry(opts RegistryOptions) *Registry {
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = runtime.NumCPU()
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.RingCapacity <= 0 {
+		opts.RingCapacity = 4096
+	}
+	if opts.Jobs == nil {
+		opts.Jobs = DefaultJobs()
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewMetrics()
+	}
+	if opts.Log == nil {
+		opts.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Registry{
+		runs:    make(map[string]*Run),
+		queue:   make(chan *Run, opts.QueueDepth),
+		jobs:    opts.Jobs,
+		metrics: opts.Metrics,
+		log:     opts.Log,
+		ringCap: opts.RingCapacity,
+		workers: opts.MaxConcurrent,
+		baseCtx: ctx,
+		stopAll: cancel,
+	}
+	for i := 0; i < r.workers; i++ {
+		r.wg.Add(1)
+		go r.worker()
+	}
+	return r
+}
+
+// Metrics returns the server-wide registry runs merge into.
+func (r *Registry) Metrics() *obs.Metrics { return r.metrics }
+
+// MaxConcurrent returns the worker-pool bound.
+func (r *Registry) MaxConcurrent() int { return r.workers }
+
+// QueueLen returns the current backlog length.
+func (r *Registry) QueueLen() int { return len(r.queue) }
+
+// Submit validates and enqueues a run, returning it in StateQueued. It
+// never blocks: a full queue or a draining registry rejects immediately.
+func (r *Registry) Submit(kind string, spec json.RawMessage) (*Run, error) {
+	job, ok := r.jobs[kind]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownKind, kind)
+	}
+	if job.Validate != nil {
+		if err := job.Validate(spec); err != nil {
+			return nil, err
+		}
+	}
+	if r.draining.Load() {
+		r.metrics.Inc("serve.runs.rejected")
+		return nil, ErrDraining
+	}
+	run := &Run{
+		kind:      kind,
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		ring:      obs.NewRingSink(r.ringCap),
+	}
+	r.mu.Lock()
+	run.id = fmt.Sprintf("r-%06d", r.nextID.Add(1))
+	select {
+	case r.queue <- run:
+	default:
+		r.mu.Unlock()
+		r.metrics.Inc("serve.runs.rejected")
+		return nil, ErrQueueFull
+	}
+	r.runs[run.id] = run
+	r.order = append(r.order, run.id)
+	r.mu.Unlock()
+	r.metrics.Inc("serve.runs.submitted")
+	r.log.Info("run submitted", "run", run.id, "kind", kind, "queue", len(r.queue))
+	return run, nil
+}
+
+// Get returns a run by id.
+func (r *Registry) Get(id string) (*Run, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	run, ok := r.runs[id]
+	return run, ok
+}
+
+// List returns every run's status in submission order.
+func (r *Registry) List() []RunStatus {
+	r.mu.Lock()
+	ids := append([]string(nil), r.order...)
+	runs := make([]*Run, len(ids))
+	for i, id := range ids {
+		runs[i] = r.runs[id]
+	}
+	r.mu.Unlock()
+	out := make([]RunStatus, len(runs))
+	for i, run := range runs {
+		out[i] = run.Status(false)
+	}
+	return out
+}
+
+// Cancel requests cancellation: a queued run is marked and will be skipped
+// by the pool; a running run has its context cancelled (the pipeline stops
+// at the next trial boundary). Cancelling a terminal run reports false.
+func (r *Registry) Cancel(id string) (bool, error) {
+	run, ok := r.Get(id)
+	if !ok {
+		return false, fmt.Errorf("run %q not found", id)
+	}
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	switch run.state {
+	case StateQueued:
+		run.cancelled = true
+		return true, nil
+	case StateRunning:
+		run.cancel() // set before the state became running
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// CountByState tallies runs per lifecycle state, for the /metrics gauges.
+func (r *Registry) CountByState() map[State]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[State]int, 5)
+	for _, run := range r.runs {
+		run.mu.Lock()
+		out[run.state]++
+		run.mu.Unlock()
+	}
+	return out
+}
+
+// worker executes queued runs until shutdown.
+func (r *Registry) worker() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.baseCtx.Done():
+			return
+		case run := <-r.queue:
+			r.execute(run)
+		}
+	}
+}
+
+// execute drives one run through its lifecycle.
+func (r *Registry) execute(run *Run) {
+	run.mu.Lock()
+	if run.cancelled || r.baseCtx.Err() != nil {
+		run.state = StateCanceled
+		run.finished = time.Now()
+		run.errMsg = context.Canceled.Error()
+		run.mu.Unlock()
+		run.ring.Close()
+		r.metrics.Inc("serve.runs.canceled")
+		r.log.Info("run canceled before start", "run", run.id)
+		return
+	}
+	ctx, cancel := context.WithCancel(r.baseCtx)
+	defer cancel()
+	run.cancel = cancel
+	run.state = StateRunning
+	run.started = time.Now()
+	run.mu.Unlock()
+
+	log := r.log.With("run", run.id, "kind", run.kind)
+	log.Info("run started")
+	r.metrics.AddGauge("serve.runs_in_flight", 1)
+
+	perRun := obs.NewMetrics()
+	result, err := r.jobs[run.kind].Run(ctx, run.spec, JobContext{
+		Tracer:  obs.New(run.ring),
+		Metrics: perRun,
+		Log:     log,
+	})
+
+	run.ring.Close()
+	r.metrics.Merge(perRun)
+	r.metrics.AddGauge("serve.runs_in_flight", -1)
+
+	run.mu.Lock()
+	run.finished = time.Now()
+	dur := run.finished.Sub(run.started)
+	switch {
+	case err == nil:
+		run.state = StateDone
+		run.result = result
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		run.state = StateCanceled
+		run.errMsg = err.Error()
+	default:
+		run.state = StateFailed
+		run.errMsg = err.Error()
+	}
+	state := run.state
+	run.mu.Unlock()
+
+	r.metrics.Inc("serve.runs." + string(state))
+	r.metrics.Observe("serve.run_duration_us", float64(dur.Nanoseconds())/1e3)
+	log.Info("run finished", "state", string(state), "duration", dur, "err", err)
+}
+
+// Shutdown drains the registry: no new submissions, queued runs are
+// cancelled, in-flight run contexts are cancelled, and the worker pool is
+// awaited (bounded by ctx). Idempotent.
+func (r *Registry) Shutdown(ctx context.Context) error {
+	r.draining.Store(true)
+	r.stopAll() // cancels every in-flight run's context and stops workers
+	// Flush the backlog: anything still queued becomes canceled.
+flush:
+	for {
+		select {
+		case run := <-r.queue:
+			run.mu.Lock()
+			run.cancelled = true
+			run.state = StateCanceled
+			run.finished = time.Now()
+			run.errMsg = context.Canceled.Error()
+			run.mu.Unlock()
+			run.ring.Close()
+			r.metrics.Inc("serve.runs.canceled")
+		default:
+			break flush
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown timed out: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (r *Registry) Draining() bool { return r.draining.Load() }

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"chop/internal/obs"
+)
+
+// Options parameterizes New. Zero values select sensible defaults.
+type Options struct {
+	// Addr is the listen address for ListenAndServe (default ":8080").
+	Addr string
+	// MaxConcurrent bounds simultaneously executing runs (default:
+	// runtime.NumCPU()); QueueDepth bounds the backlog beyond that
+	// (default 64); RingCapacity bounds each run's trace replay ring
+	// (default 4096).
+	MaxConcurrent int
+	QueueDepth    int
+	RingCapacity  int
+	// ShutdownGrace bounds how long graceful shutdown waits for in-flight
+	// work after cancelling it (default 10s).
+	ShutdownGrace time.Duration
+	// Log receives structured request and run-transition records
+	// (default: discard).
+	Log *slog.Logger
+	// Metrics is the server-wide registry exposed on /metrics; nil
+	// creates one. Pipeline metrics from finished runs merge into it.
+	Metrics *obs.Metrics
+	// Jobs overrides the run-kind table (default DefaultJobs()); tests
+	// inject synthetic jobs here.
+	Jobs map[string]Job
+}
+
+// Server is the CHOP service plane: run supervision plus the HTTP
+// observability surface. Create with New, serve with ListenAndServe (or
+// mount Handler() on infrastructure of your own), stop with Drain.
+type Server struct {
+	opts    Options
+	log     *slog.Logger
+	metrics *obs.Metrics
+	reg     *Registry
+	ready   atomic.Bool
+	healthy atomic.Bool
+}
+
+// New builds a Server and starts its worker pool. The server is
+// immediately ready; it reports live on /healthz and ready on /readyz
+// until Drain.
+func New(opts Options) *Server {
+	if opts.Addr == "" {
+		opts.Addr = ":8080"
+	}
+	if opts.ShutdownGrace <= 0 {
+		opts.ShutdownGrace = 10 * time.Second
+	}
+	if opts.Log == nil {
+		opts.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewMetrics()
+	}
+	obs.RecordBuildInfo(opts.Metrics)
+	s := &Server{opts: opts, log: opts.Log, metrics: opts.Metrics}
+	s.reg = NewRegistry(RegistryOptions{
+		MaxConcurrent: opts.MaxConcurrent,
+		QueueDepth:    opts.QueueDepth,
+		RingCapacity:  opts.RingCapacity,
+		Jobs:          opts.Jobs,
+		Metrics:       opts.Metrics,
+		Log:           opts.Log,
+	})
+	s.ready.Store(true)
+	s.healthy.Store(true)
+	return s
+}
+
+// Registry exposes the run supervisor (tests and embedders).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the full route table:
+//
+//	POST   /api/v1/runs             submit a run
+//	GET    /api/v1/runs             list runs
+//	GET    /api/v1/runs/{id}        one run, with result
+//	DELETE /api/v1/runs/{id}        cancel a run
+//	GET    /api/v1/runs/{id}/events live trace stream (SSE)
+//	GET    /metrics                 Prometheus text exposition
+//	GET    /healthz                 liveness
+//	GET    /readyz                  readiness (503 while draining)
+//	GET    /debug/pprof/...         net/http/pprof
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.logRequest(name, obs.InstrumentHandler(s.metrics, name, h)))
+	}
+	route("POST /api/v1/runs", "submit", s.handleSubmit)
+	route("GET /api/v1/runs", "list_runs", s.handleList)
+	route("GET /api/v1/runs/{id}", "get_run", s.handleGet)
+	route("DELETE /api/v1/runs/{id}", "cancel_run", s.handleCancel)
+	route("GET /api/v1/runs/{id}/events", "events", s.handleEvents)
+	route("GET /metrics", "metrics", s.handleMetrics)
+	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /readyz", "readyz", s.handleReadyz)
+	// pprof registers on the mux directly (its own handlers manage
+	// content types); instrumented under one shared route label.
+	mux.Handle("/debug/pprof/", s.logRequest("pprof", obs.InstrumentHandler(s.metrics, "pprof", http.HandlerFunc(pprof.Index))))
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// logRequest emits one structured record per completed request.
+func (s *Server) logRequest(name string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		s.log.Debug("http request", "route", name, "method", r.Method,
+			"path", r.URL.Path, "duration", time.Since(start))
+	})
+}
+
+// Drain begins graceful shutdown: readiness flips to 503 (load balancers
+// stop routing), new submissions are rejected, queued runs are cancelled,
+// in-flight run contexts are cancelled, and the worker pool is awaited up
+// to the shutdown grace. Idempotent; safe without ListenAndServe.
+func (s *Server) Drain(ctx context.Context) error {
+	s.ready.Store(false)
+	s.log.Info("draining", "grace", s.opts.ShutdownGrace)
+	dctx, cancel := context.WithTimeout(ctx, s.opts.ShutdownGrace)
+	defer cancel()
+	return s.reg.Shutdown(dctx)
+}
+
+// ListenAndServe serves until ctx is cancelled (SIGINT/SIGTERM in the
+// CLI), then drains: readiness flips, in-flight runs are cancelled, open
+// request contexts (including SSE streams) are cancelled, and the listener
+// closes gracefully.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	// Request contexts derive from baseCtx so shutdown reaches streaming
+	// handlers, which http.Server.Shutdown alone would wait on forever.
+	baseCtx, cancelConns := context.WithCancel(context.Background())
+	defer cancelConns()
+	httpSrv := &http.Server{
+		Addr:        s.opts.Addr,
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return err
+	}
+	s.log.Info("listening", "addr", ln.Addr().String(),
+		"maxConcurrent", s.reg.MaxConcurrent())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err // listener died underneath us
+	case <-ctx.Done():
+	}
+	drainErr := s.Drain(context.Background())
+	cancelConns() // unblocks SSE streams so Shutdown can finish
+	sctx, cancel := context.WithTimeout(context.Background(), s.opts.ShutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	s.log.Info("stopped")
+	return drainErr
+}
