@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench gobench cover serve ci
+.PHONY: all build vet lint test race bench gobench fuzz cover serve ci
 
 all: build
 
@@ -33,6 +33,12 @@ bench:
 # gobench runs the in-tree go test benchmarks (overhead gates etc.).
 gobench:
 	$(GO) test -run XXX -bench . -benchmem ./...
+
+# fuzz smoke-tests the predictor-cache content key: determinism,
+# rename-insensitivity, mutation-sensitivity, no panics.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -fuzz=FuzzPredictCacheKey -fuzztime=$(FUZZTIME) ./internal/bad
 
 # cover writes coverage.out plus a browsable HTML report.
 cover:

@@ -10,6 +10,7 @@
 package chop_test
 
 import (
+	"fmt"
 	"testing"
 
 	chop "chop"
@@ -151,6 +152,57 @@ func BenchmarkSearch(b *testing.B) {
 			var trials int
 			for i := 0; i < b.N; i++ {
 				res, err := chop.Search(p, cfg, preds, h)
+				if err != nil {
+					b.Fatal(err)
+				}
+				trials = res.Trials
+			}
+			b.ReportMetric(float64(trials), "trials")
+		})
+	}
+}
+
+// BenchmarkSearchParallel measures the sharded worker-pool search engine
+// against the serial loop on the synthetic stress graph: one KeepAll
+// prediction truncated to 20 designs per partition (a fixed 8000-combination
+// enumeration), searched at 1, 2 and 4 workers. Results are byte-identical
+// at every worker count; on a multi-core host the w4/w1 ns/op ratio is the
+// engine's speedup (single-core machines show ~1x by construction).
+func BenchmarkSearchParallel(b *testing.B) {
+	g := chop.StressDFG(6, 20, 16)
+	const parts = 3
+	p := &chop.Partitioning{
+		Graph:    g,
+		Parts:    chop.LevelPartitions(g, parts),
+		PartChip: []int{0, 1, 2},
+		Chips:    chop.NewChipSet(parts, chop.MOSISPackages()[1], 4),
+	}
+	cfg := chop.Config{
+		Lib:    chop.ExtendedLibrary(),
+		Clocks: chop.Clocks{MainNS: 300, DatapathMult: 10, TransferMult: 1},
+		Constraints: chop.Constraints{
+			Perf:  chop.Constraint{Bound: 300000, MinProb: 1},
+			Delay: chop.Constraint{Bound: 300000, MinProb: 0.8},
+		},
+		KeepAll: true,
+	}
+	preds, err := chop.PredictPartitions(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range preds {
+		if len(preds[i].Designs) > 20 {
+			preds[i].Designs = preds[i].Designs[:20]
+		}
+	}
+	cfg.KeepAll = false
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			wcfg := cfg
+			wcfg.Workers = workers
+			var trials int
+			for i := 0; i < b.N; i++ {
+				res, err := chop.Search(p, wcfg, preds, chop.Enumeration)
 				if err != nil {
 					b.Fatal(err)
 				}

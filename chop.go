@@ -167,6 +167,13 @@ type (
 	PredictResult = bad.Result
 	// DesignStyle distinguishes pipelined from non-pipelined designs.
 	DesignStyle = bad.DesignStyle
+	// PredictCache memoizes BAD predictions under a content key; attach
+	// one via Config.PredictCache (or PredictConfig.Cache) to stop
+	// advisor move loops and repeated evaluations from re-predicting
+	// unchanged partitions. Safe for concurrent use.
+	PredictCache = bad.PredictCache
+	// PredictCacheStats is a hit/miss snapshot of a PredictCache.
+	PredictCacheStats = bad.CacheStats
 )
 
 // Design styles.
@@ -177,6 +184,15 @@ const (
 
 // Predict runs BAD standalone on one partition graph.
 func Predict(g *Graph, cfg PredictConfig) (PredictResult, error) { return bad.Predict(g, cfg) }
+
+var (
+	// NewPredictCache builds an LRU prediction cache bounded to capacity
+	// entries (<= 0 selects the default of 512).
+	NewPredictCache = bad.NewPredictCache
+	// PredictCacheKey computes the content key a PredictCache files a
+	// prediction under (partition structure + library + style + bounds).
+	PredictCacheKey = bad.CacheKey
+)
 
 // Partitioner types (package core).
 type (
@@ -408,6 +424,9 @@ var (
 	LoadBenchReport = benchkit.Load
 	// BenchWorkloads lists the harness's workload set.
 	BenchWorkloads = benchkit.Workloads
+	// StressDFG builds the harness's layered synthetic stress graph
+	// (levels x width nodes of the given bit width).
+	StressDFG = benchkit.StressDFG
 )
 
 // Advisor types (package advisor).

@@ -20,7 +20,9 @@
 // prints the counter/histogram registry afterward, -prom <file> writes it
 // in Prometheus text format, -progress prints throttled live progress on
 // stderr, and -cpuprofile/-memprofile/-blockprofile collect runtime/pprof
-// profiles.
+// profiles. They also share the execution knobs: -workers selects the
+// search parallelism (deterministic — any worker count produces the serial
+// result) and -predict-cache memoizes BAD predictions in a bounded LRU.
 package main
 
 import (
@@ -111,7 +113,8 @@ func usage() {
   bench                run the performance harness (-json writes BENCH_<n>.json,
                        -compare old.json new.json gates regressions)
   serve                start the HTTP service plane (-addr, -max-concurrent,
-                       -queue, -ring, -grace, -log-level, -log-json); submit
+                       -queue, -ring, -grace, -predict-cache, -log-level,
+                       -log-json); submit
                        runs on POST /api/v1/runs, stream traces on
                        /api/v1/runs/{id}/events, scrape /metrics
   version              print the binary's build identity (go version, revision)
@@ -124,6 +127,10 @@ eval, synth, exp1, exp2 and advise also accept:
   -cpuprofile file     write a CPU profile (flamegraph with 'go tool pprof')
   -memprofile file     write a heap profile taken after the run
   -blockprofile file   write a goroutine-blocking profile
+  -workers n           search worker goroutines (1 = serial, 0 or negative =
+                       all cores); parallel results are identical to serial
+  -predict-cache n     memoize BAD predictions in an n-entry LRU cache
+                       (0 disables, negative selects the default capacity)
 `)
 }
 
@@ -217,9 +224,10 @@ func printSpec() error {
 	return nil
 }
 
-// obsFlags carries the observability flags shared by every run-style
-// command (eval, synth, exp1, exp2, advise): tracing, metrics exposition,
-// live progress, and the runtime/pprof profiling trio.
+// obsFlags carries the run flags shared by every run-style command (eval,
+// synth, exp1, exp2, advise): tracing, metrics exposition, live progress,
+// the runtime/pprof profiling trio, and the execution knobs (search
+// parallelism, prediction memoization).
 type obsFlags struct {
 	trace    *string
 	metrics  *bool
@@ -229,10 +237,16 @@ type obsFlags struct {
 	cpuprofile   *string
 	memprofile   *string
 	blockprofile *string
+
+	workers      *int
+	predictCache *int
+
+	fs *flag.FlagSet
 }
 
 func addObsFlags(fs *flag.FlagSet) *obsFlags {
 	return &obsFlags{
+		fs:           fs,
 		trace:        fs.String("trace", "", "record a JSONL trace of the run to this file"),
 		metrics:      fs.Bool("metrics", false, "print the counter/histogram registry after the run"),
 		prom:         fs.String("prom", "", "write Prometheus text-format metrics to this file after the run"),
@@ -240,7 +254,21 @@ func addObsFlags(fs *flag.FlagSet) *obsFlags {
 		cpuprofile:   fs.String("cpuprofile", "", "write a CPU profile to this file"),
 		memprofile:   fs.String("memprofile", "", "write a heap profile to this file"),
 		blockprofile: fs.String("blockprofile", "", "write a goroutine-blocking profile to this file"),
+		workers:      fs.Int("workers", 1, "search worker goroutines (1 = serial, 0 or negative = all cores); results are identical at any worker count"),
+		predictCache: fs.Int("predict-cache", 0, "memoize BAD predictions in an LRU cache of this many entries (0 disables, negative = default capacity)"),
 	}
+}
+
+// explicitlySet reports whether the named flag appeared on the command
+// line (flag.Visit walks only the set flags).
+func (o *obsFlags) explicitlySet(name string) bool {
+	set := false
+	o.fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // attach wires the requested tracer, metrics registry, progress sink and
@@ -250,6 +278,25 @@ func addObsFlags(fs *flag.FlagSet) *obsFlags {
 // (-trace, -prom) are created eagerly so unwritable paths fail here, before
 // the run; on error, attach closes whatever it had already opened.
 func (o *obsFlags) attach(cfg *core.Config) (func() error, error) {
+	// The execution knobs override a spec-file setting only when given on
+	// the command line; otherwise whatever the spec put in cfg stands.
+	if o.explicitlySet("workers") {
+		if *o.workers <= 0 {
+			cfg.Workers = -1 // Config: negative selects GOMAXPROCS
+		} else {
+			cfg.Workers = *o.workers
+		}
+	}
+	if o.explicitlySet("predict-cache") {
+		switch {
+		case *o.predictCache > 0:
+			cfg.PredictCache = bad.NewPredictCache(*o.predictCache)
+		case *o.predictCache < 0:
+			cfg.PredictCache = bad.NewPredictCache(0) // default capacity
+		default:
+			cfg.PredictCache = nil
+		}
+	}
 	var sinks []obs.Sink
 	var file *obs.FileSink
 	if *o.trace != "" {

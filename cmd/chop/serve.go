@@ -55,6 +55,7 @@ func serveCmd(args []string) error {
 	queue := fs.Int("queue", 0, "queued-run backlog beyond the concurrency bound (0 = default 64)")
 	ring := fs.Int("ring", 0, "per-run trace replay ring capacity (0 = default 4096)")
 	grace := fs.Duration("grace", 0, "graceful-shutdown grace period (0 = default 10s)")
+	predictCache := fs.Int("predict-cache", 0, "server-wide BAD prediction cache entries (0 = default capacity, negative = disabled)")
 	lf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +79,7 @@ func serveCmd(args []string) error {
 		RingCapacity:  *ring,
 		ShutdownGrace: *grace,
 		Log:           log,
+		PredictCache:  *predictCache,
 	})
 	return s.ListenAndServe(ctx)
 }

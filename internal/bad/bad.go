@@ -142,6 +142,12 @@ type Config struct {
 	Trace   *obs.Tracer
 	Span    *obs.Span
 	Metrics *obs.Metrics
+	// Cache, when non-nil, memoizes Predict results under their content
+	// key (see CacheKey): repeated predictions of unchanged partitions —
+	// advisor move loops, KL sweeps, server job bursts — return the cached
+	// Result instead of re-sweeping the design space. Lookups count into
+	// the bad.predict_cache_hit / bad.predict_cache_miss metrics.
+	Cache *PredictCache
 }
 
 // Design is one predicted implementation of a partition.
@@ -233,6 +239,18 @@ func Predict(g *dfg.Graph, cfg Config) (Result, error) {
 	}
 	if cfg.MaxRepair <= 0 {
 		cfg.MaxRepair = 6
+	}
+	var cacheKey string
+	if cfg.Cache != nil {
+		cacheKey = CacheKey(g, cfg)
+		if r, ok := cfg.Cache.Get(cacheKey); ok {
+			cfg.Metrics.Inc("bad.predict_cache_hit")
+			if cfg.Span != nil {
+				cfg.Span.Point("predict-cache", obs.F("hit", true))
+			}
+			return r, nil
+		}
+		cfg.Metrics.Inc("bad.predict_cache_miss")
 	}
 	var ops []dfg.Op
 	for op := range g.OpCounts() {
@@ -354,6 +372,7 @@ func Predict(g *dfg.Graph, cfg Config) (Result, error) {
 		sp.End(obs.F("total", res.Total), obs.F("unique", res.Unique),
 			obs.F("kept", len(res.Designs)), obs.F("feasible", res.Feasible))
 	}
+	cfg.Cache.Put(cacheKey, res)
 	return res, nil
 }
 

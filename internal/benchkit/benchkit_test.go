@@ -39,7 +39,8 @@ func TestWorkloadsCoverage(t *testing.T) {
 		}
 		seen[w.Name] = true
 	}
-	for _, want := range []string{"exp1", "exp2", "graph/ar", "graph/ewf", "graph/fir", "graph/diffeq", "stress/"} {
+	for _, want := range []string{"exp1", "exp2", "graph/ar", "graph/ewf", "graph/fir", "graph/diffeq", "stress/",
+		"search/stress/w1", "search/stress/w4", "advisor/cached"} {
 		found := false
 		for name := range seen {
 			if strings.Contains(name, want) {
@@ -50,6 +51,45 @@ func TestWorkloadsCoverage(t *testing.T) {
 		if !found {
 			t.Errorf("no workload covers %q", want)
 		}
+	}
+}
+
+// TestParallelSearchWorkloads runs the serial/parallel search workload
+// pair once each: both must complete (their ns/op ratio in a BENCH report
+// is the parallel engine's speedup on multi-core hosts).
+func TestParallelSearchWorkloads(t *testing.T) {
+	rep, err := Run(Options{Short: true, MinTime: time.Millisecond, Filter: "search/stress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workloads) != 2 {
+		t.Fatalf("want w1 and w4 workloads, got %d", len(rep.Workloads))
+	}
+	for _, w := range rep.Workloads {
+		if w.Iters < 1 || w.NsPerOp <= 0 {
+			t.Fatalf("workload %s did not measure: %+v", w.Name, w)
+		}
+	}
+}
+
+// TestAdvisorCacheHitRate is the predictor-cache acceptance check: the
+// advisor move-loop workload must resolve more than half of its BAD
+// predictions from the content-keyed cache.
+func TestAdvisorCacheHitRate(t *testing.T) {
+	rep, err := Run(Options{Short: true, MinTime: time.Millisecond, Filter: "advisor/cached"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := rep.Workloads[0]
+	hits := w.Counters["bad.predict_cache_hit"]
+	misses := w.Counters["bad.predict_cache_miss"]
+	if hits+misses == 0 {
+		t.Fatal("advisor/cached recorded no cache traffic")
+	}
+	rate := float64(hits) / float64(hits+misses)
+	t.Logf("cache: %d hits, %d misses (%.0f%%)", hits, misses, 100*rate)
+	if rate <= 0.5 {
+		t.Fatalf("cache hit rate %.2f not above 50%%", rate)
 	}
 }
 

@@ -2,7 +2,9 @@ package benchkit
 
 import (
 	"fmt"
+	"sync"
 
+	"chop/internal/advisor"
 	"chop/internal/bad"
 	"chop/internal/chip"
 	"chop/internal/core"
@@ -47,7 +49,87 @@ func Workloads() []Workload {
 	} {
 		ws = append(ws, Workload{Name: gw.name, Run: graphRun(gw.build, gw.parts)})
 	}
+	// Serial-vs-parallel search on one shared stress problem (predictions
+	// precomputed, so only the search stage is timed): the w4/w1 ratio in
+	// a BENCH report is the parallel engine's speedup.
+	ws = append(ws,
+		Workload{Name: "search/stress/w1", Run: stressSearchRun(1)},
+		Workload{Name: "search/stress/w4", Run: stressSearchRun(4)},
+		Workload{Name: "advisor/cached", Run: advisorCachedRun()},
+	)
 	return ws
+}
+
+// stressProblem lazily builds the shared stress search problem: a KeepAll
+// prediction (no level-1 pruning) truncated to 20 designs per partition,
+// which yields a stable 8000-combination enumeration — big enough that the
+// worker pool has real shards to drain, bounded enough to time repeatably.
+var stressProblem struct {
+	once  sync.Once
+	p     *core.Partitioning
+	cfg   core.Config
+	preds []bad.Result
+	err   error
+}
+
+func stressSearchRun(workers int) func(*obs.Metrics) error {
+	return func(m *obs.Metrics) error {
+		s := &stressProblem
+		s.once.Do(func() {
+			g := StressDFG(6, 20, 16)
+			const parts = 3
+			p := &core.Partitioning{
+				Graph:    g,
+				Parts:    dfg.LevelPartitions(g, parts),
+				PartChip: []int{0, 1, 2},
+				Chips:    chip.NewUniformSet(parts, chip.MOSISPackages()[1], 4),
+			}
+			cfg := core.Config{
+				Lib:    lib.ExtendedLibrary(),
+				Clocks: bad.Clocks{MainNS: 300, DatapathMult: 10, TransferMult: 1},
+				Constraints: core.Constraints{
+					Perf:  stats.Constraint{Bound: 300000, MinProb: 1},
+					Delay: stats.Constraint{Bound: 300000, MinProb: 0.8},
+				},
+				KeepAll: true,
+			}
+			preds, err := core.PredictPartitions(p, cfg)
+			if err == nil {
+				for i := range preds {
+					if len(preds[i].Designs) > 20 {
+						preds[i].Designs = preds[i].Designs[:20]
+					}
+				}
+			}
+			cfg.KeepAll = false // search with level-2 pruning over the fixed lists
+			s.p, s.cfg, s.preds, s.err = p, cfg, preds, err
+		})
+		if s.err != nil {
+			return s.err
+		}
+		cfg := s.cfg
+		cfg.Workers = workers
+		cfg.Metrics = m
+		_, err := core.Search(s.p, cfg, s.preds, core.Enumeration)
+		return err
+	}
+}
+
+// advisorCachedRun is the predictor-cache workload: the advisor's
+// op-migration improvement loop re-evaluates neighbor partitionings that
+// mostly share partition content, so a content-keyed cache absorbs the
+// repeated BAD work. The calibration pass surfaces bad.predict_cache_hit
+// and bad.predict_cache_miss in the report's counters.
+func advisorCachedRun() func(*obs.Metrics) error {
+	return func(m *obs.Metrics) error {
+		e := experiments.New(1)
+		p := e.Partitioning(4, 2)
+		cfg := e.Cfg
+		cfg.Metrics = m
+		cfg.PredictCache = bad.NewPredictCache(0)
+		_, _, err := advisor.Improve(p, cfg, core.Iterative, 3)
+		return err
+	}
 }
 
 // expCounts regenerates the paper's Table 3/5 prediction statistics.

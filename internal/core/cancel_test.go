@@ -3,10 +3,16 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
+	"time"
 
 	"chop/internal/bad"
+	"chop/internal/chip"
+	"chop/internal/dfg"
+	"chop/internal/lib"
 	"chop/internal/obs"
+	"chop/internal/stats"
 )
 
 // TestRunPreCanceledContext: a context cancelled before the run starts
@@ -82,4 +88,111 @@ func mustPredict(t *testing.T, n int) []bad.Result {
 		t.Fatal(err)
 	}
 	return preds
+}
+
+// stressCancelProblem builds the benchkit-style layered stress problem
+// (6x20 alternating add/mul levels on 3 chips) with a fixed-size
+// enumeration space: a KeepAll prediction truncated to 20 designs per
+// partition, an 8000-combination search that runs long enough to cancel
+// mid-flight on any machine.
+func stressCancelProblem(t *testing.T) (*Partitioning, Config, []bad.Result) {
+	t.Helper()
+	const levels, width, bits = 6, 20, 16
+	g := dfg.New("stress-cancel")
+	prev := make([]int, width)
+	for i := range prev {
+		prev[i] = g.AddNode(fmt.Sprintf("in%d", i), dfg.OpInput, bits)
+	}
+	for l := 0; l < levels; l++ {
+		op := dfg.OpAdd
+		if l%2 == 1 {
+			op = dfg.OpMul
+		}
+		cur := make([]int, width)
+		for i := 0; i < width; i++ {
+			id := g.AddNode(fmt.Sprintf("n%d_%d", l, i), op, bits)
+			g.MustConnect(prev[i], id)
+			g.MustConnect(prev[(i+1)%width], id)
+			cur[i] = id
+		}
+		prev = cur
+	}
+	for i, id := range prev {
+		g.MustConnect(id, g.AddNode(fmt.Sprintf("out%d", i), dfg.OpOutput, bits))
+	}
+	const parts = 3
+	p := &Partitioning{
+		Graph:    g,
+		Parts:    dfg.LevelPartitions(g, parts),
+		PartChip: []int{0, 1, 2},
+		Chips:    chip.NewUniformSet(parts, chip.MOSISPackages()[1], 4),
+	}
+	cfg := Config{
+		Lib:    lib.ExtendedLibrary(),
+		Clocks: bad.Clocks{MainNS: 300, DatapathMult: 10, TransferMult: 1},
+		Constraints: Constraints{
+			Perf:  stats.Constraint{Bound: 300000, MinProb: 1},
+			Delay: stats.Constraint{Bound: 300000, MinProb: 0.8},
+		},
+		KeepAll: true,
+	}
+	preds, err := PredictPartitions(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range preds {
+		if len(preds[i].Designs) > 20 {
+			preds[i].Designs = preds[i].Designs[:20]
+		}
+	}
+	cfg.KeepAll = false
+	return p, cfg, preds
+}
+
+// TestCancelStressReturnsQuickly: cancelling mid-search on the stress
+// problem must return within 100ms of the cancel — from the serial loop
+// and from the sharded worker pool alike — with a partial, bounded trial
+// count and a wrapped context error.
+func TestCancelStressReturnsQuickly(t *testing.T) {
+	p, cfg, preds := stressCancelProblem(t)
+	const space = 20 * 20 * 20
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			wcfg := cfg
+			wcfg.Ctx = ctx
+			wcfg.Workers = workers
+			type out struct {
+				res SearchResult
+				err error
+			}
+			done := make(chan out, 1)
+			go func() {
+				res, err := Search(p, wcfg, preds, Enumeration)
+				done <- out{res, err}
+			}()
+			// Let the search get into the trial loop, then pull the plug.
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+			start := time.Now()
+			select {
+			case o := <-done:
+				if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+					t.Fatalf("search returned %v after cancel, want <100ms", elapsed)
+				}
+				if !errors.Is(o.err, context.Canceled) {
+					t.Fatalf("err = %v, want context.Canceled", o.err)
+				}
+				if o.res.Trials > space {
+					t.Fatalf("cancelled run counted %d trials, space is %d", o.res.Trials, space)
+				}
+				if o.res.Trials == space {
+					t.Skipf("search finished before cancellation (%d trials); machine too fast for this timing test", space)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("search did not return after cancellation")
+			}
+		})
+	}
 }

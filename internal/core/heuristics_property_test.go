@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+)
+
+// enumOnlyFeasibleSeeds is the documented divergence skip-list for
+// TestHeuristicFeasibilityAgreement: seeds whose randomized problem has a
+// feasible implementation that explicit Enumeration finds but the
+// Iterative heuristic misses. This direction is expected, not a bug: the
+// Figure-5 walk only examines candidate system intervals derived from each
+// partition's fastest design and serializes greedily (one partition at a
+// time, always the one with the largest delay slack), so it can walk past
+// a feasible corner that plain enumeration of the cross-product visits.
+// The reverse direction — Iterative feasible, Enumeration not — would be a
+// real bug (enumeration covers every combination Iterative can select) and
+// is always a hard failure.
+var enumOnlyFeasibleSeeds = map[int64]bool{}
+
+// TestHeuristicFeasibilityAgreement is the cross-heuristic property test:
+// over 1000 seeded random problems (graph, partitioning, package,
+// constraints and style all derived from the seed — no global rand), the
+// two heuristics must agree on whether a feasible implementation exists,
+// except for skip-listed enumeration-only seeds.
+func TestHeuristicFeasibilityAgreement(t *testing.T) {
+	seeds := int64(1000)
+	if testing.Short() {
+		seeds = 150
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		p, cfg, err := randomProblem(t, seed)
+		if err != nil {
+			t.Fatalf("seed %d: invalid problem: %v", seed, err)
+		}
+		preds, err := PredictPartitions(p, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: predict: %v", seed, err)
+		}
+		resE, err := Search(p, cfg, preds, Enumeration)
+		if err != nil {
+			t.Fatalf("seed %d: enumeration: %v", seed, err)
+		}
+		resI, err := Search(p, cfg, preds, Iterative)
+		if err != nil {
+			t.Fatalf("seed %d: iterative: %v", seed, err)
+		}
+		feasE := resE.FeasibleTrials > 0
+		feasI := resI.FeasibleTrials > 0
+		switch {
+		case feasI && !feasE:
+			// Hard invariant: everything Iterative can select is inside the
+			// cross-product Enumeration visits.
+			t.Fatalf("seed %d: iterative found a feasible design enumeration missed (E %d/%d trials, I %d/%d)",
+				seed, resE.FeasibleTrials, resE.Trials, resI.FeasibleTrials, resI.Trials)
+		case feasE && !feasI:
+			if !enumOnlyFeasibleSeeds[seed] {
+				t.Errorf("seed %d: undocumented divergence: enumeration feasible (%d/%d), iterative not (%d trials) — add to skip-list only after confirming the Figure-5 walk legitimately skips it",
+					seed, resE.FeasibleTrials, resE.Trials, resI.Trials)
+			}
+		default:
+			if enumOnlyFeasibleSeeds[seed] {
+				t.Errorf("seed %d: stale skip-list entry: heuristics agree (feasible=%v)", seed, feasE)
+			}
+		}
+	}
+}

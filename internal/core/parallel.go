@@ -1,0 +1,190 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"chop/internal/bad"
+	"chop/internal/obs"
+)
+
+// This file implements the concurrent search engine behind Config.Workers.
+// Both heuristics decompose into independent shards — contiguous index
+// ranges of the combination cross-product for enumeration, single candidate
+// initiation intervals for the iterative heuristic — that a fixed worker
+// pool drains from a shared atomic cursor. Every shard books its trials
+// into a private SearchResult (no locks on the hot path), and mergeShard
+// concatenates the shard results in shard-index order, which is exactly the
+// serial visit order. After the same finishSearch reduction, the parallel
+// result is identical to the serial one: same Best ordering, same Trials
+// and FeasibleTrials, and the same Space point sequence under KeepAll. See
+// DESIGN.md, "Concurrency model".
+
+// shardsPerWorker over-decomposes the enumeration space so a slow shard
+// (expensive integrations cluster in parts of the space) cannot straggle
+// the whole pool. Purely a load-balancing knob: shard count never affects
+// the merged result.
+const shardsPerWorker = 4
+
+// shardOut is one shard's private result buffer. Workers write only their
+// own shard's entry; the merge reads all of them after the pool quiesces.
+type shardOut struct {
+	res SearchResult
+	err error
+}
+
+// mergeShard appends one shard's counters, designs and space points onto
+// the aggregate, preserving shard order.
+func mergeShard(dst *SearchResult, s *SearchResult) {
+	dst.Trials += s.Trials
+	dst.FeasibleTrials += s.FeasibleTrials
+	dst.Best = append(dst.Best, s.Best...)
+	dst.Space = append(dst.Space, s.Space...)
+}
+
+// mergeShards folds every shard into a fresh result in shard order and
+// returns the first error in shard order (deterministic even when several
+// shards failed concurrently). Completed shards before and after a failed
+// one still contribute their partial counts, mirroring the serial search's
+// partial result on cancellation.
+func mergeShards(h Heuristic, outs []shardOut) (SearchResult, error) {
+	res := SearchResult{Heuristic: h}
+	var first error
+	for i := range outs {
+		mergeShard(&res, &outs[i].res)
+		if first == nil && outs[i].err != nil {
+			first = outs[i].err
+		}
+	}
+	return res, first
+}
+
+// shardRange returns the half-open combination range [lo, hi) of shard si
+// out of shards over a space of total combinations, balanced to within one.
+func shardRange(total, shards, si int) (lo, hi int) {
+	size, rem := total/shards, total%shards
+	lo = si*size + min(si, rem)
+	hi = lo + size
+	if si < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// decodeCombination writes the mixed-radix digits of linear combination
+// index k into idx, most-significant digit first — the same ordering the
+// serial odometer walks (last digit fastest).
+func decodeCombination(k int, lists [][]bad.Design, idx []int) {
+	for i := len(lists) - 1; i >= 0; i-- {
+		idx[i] = k % len(lists[i])
+		k /= len(lists[i])
+	}
+}
+
+// enumerateParallel is the sharded worker-pool form of enumerate.
+func enumerateParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (SearchResult, error) {
+	total, err := enumSpaceSize(cfg, lists)
+	if err != nil || total == 0 {
+		return SearchResult{Heuristic: Enumeration}, err
+	}
+	if sp != nil {
+		sp.Point("space", obs.F("combinations", total))
+	}
+	workers := cfg.searchWorkers()
+	shards := workers * shardsPerWorker
+	if shards > total {
+		shards = total
+	}
+	outs := make([]shardOut, shards)
+	var cursor atomic.Int64 // next unclaimed shard index
+	var aborted atomic.Bool // first error/cancel stops idle pickup fast
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			idx := make([]int, len(lists))
+			choice := make([]bad.Design, len(lists))
+			for {
+				si := int(cursor.Add(1)) - 1
+				if si >= shards || aborted.Load() {
+					return
+				}
+				lo, hi := shardRange(total, shards, si)
+				decodeCombination(lo, lists, idx)
+				out := &outs[si]
+				for k := lo; k < hi; k++ {
+					if err := cfg.canceled(); err != nil {
+						out.err = err
+						aborted.Store(true)
+						return
+					}
+					if aborted.Load() {
+						return
+					}
+					if err := enumTrial(it, cfg, &out.res, lists, idx, choice, sp); err != nil {
+						out.err = err
+						aborted.Store(true)
+						return
+					}
+					advanceOdometer(idx, lists)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res, err := mergeShards(Enumeration, outs)
+	if err != nil {
+		return res, err
+	}
+	finishSearch(&res)
+	return res, nil
+}
+
+// iterativeParallel fans the Figure-5 loop out across candidate system
+// intervals: each interval's serialization walk is independent of every
+// other's, so intervals are the natural shards.
+func iterativeParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (SearchResult, error) {
+	for _, l := range lists {
+		if len(l) == 0 {
+			return SearchResult{Heuristic: Iterative}, nil
+		}
+	}
+	intervals := iterativeIntervals(cfg, lists)
+	if sp != nil {
+		sp.Point("space", obs.F("intervals", len(intervals)))
+	}
+	workers := cfg.searchWorkers()
+	if workers > len(intervals) {
+		workers = len(intervals)
+	}
+	outs := make([]shardOut, len(intervals))
+	var cursor atomic.Int64
+	var aborted atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				si := int(cursor.Add(1)) - 1
+				if si >= len(intervals) || aborted.Load() {
+					return
+				}
+				out := &outs[si]
+				if err := iterativeInterval(it, cfg, lists, intervals[si], &out.res, sp); err != nil {
+					out.err = err
+					aborted.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res, err := mergeShards(Iterative, outs)
+	if err != nil {
+		return res, err
+	}
+	finishSearch(&res)
+	return res, nil
+}

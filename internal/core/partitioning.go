@@ -9,6 +9,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"chop/internal/bad"
 	"chop/internal/chip"
@@ -206,6 +207,19 @@ type Config struct {
 	// default — runs to completion. The check is a single atomic load per
 	// trial, invisible next to the integration work a trial performs.
 	Ctx context.Context
+	// Workers selects the search parallelism: 0 or 1 — the default — runs
+	// the single-threaded search, N > 1 evaluates combination shards on N
+	// worker goroutines, and any negative value uses GOMAXPROCS. The
+	// parallel search is deterministic: its SearchResult (Best ordering,
+	// Trials, FeasibleTrials, and Space when KeepAll is set) is identical
+	// to the serial result. See DESIGN.md, "Concurrency model".
+	Workers int
+	// PredictCache, when non-nil, memoizes bad.Predict results across runs
+	// under their content key (partition structure + library + style +
+	// bounds), so advisor move loops and repeated evaluations stop
+	// re-predicting unchanged partitions. Safe to share between
+	// concurrent runs and across differing configurations.
+	PredictCache *bad.PredictCache
 	// Trace receives hierarchical timed spans (Run → PredictPartitions →
 	// per-partition BAD → Search → per-trial integrate) and structured
 	// events (trial examined with its rejection reason, pruning decision,
@@ -241,6 +255,19 @@ func (c Config) badConfig(chips chip.Set) bad.Config {
 		KeepAll: c.KeepAll,
 		Trace:   c.Trace,
 		Metrics: c.Metrics,
+		Cache:   c.PredictCache,
+	}
+}
+
+// searchWorkers resolves Config.Workers to a concrete worker count.
+func (c Config) searchWorkers() int {
+	switch {
+	case c.Workers < 0:
+		return runtime.GOMAXPROCS(0)
+	case c.Workers <= 1:
+		return 1
+	default:
+		return c.Workers
 	}
 }
 

@@ -84,14 +84,24 @@ func search(p *Partitioning, cfg Config, preds []bad.Result, h Heuristic, parent
 	for i, r := range preds {
 		lists[i] = r.Designs
 	}
-	sp := obs.SpanUnder(cfg.Trace, parent, "Search", obs.F("heuristic", h.String()))
+	workers := cfg.searchWorkers()
+	sp := obs.SpanUnder(cfg.Trace, parent, "Search",
+		obs.F("heuristic", h.String()), obs.F("workers", workers))
 	defer cfg.Metrics.Timer("core.search_us")()
 	var res SearchResult
 	switch h {
 	case Enumeration:
-		res, err = enumerate(it, cfg, lists, sp)
+		if workers > 1 {
+			res, err = enumerateParallel(it, cfg, lists, sp)
+		} else {
+			res, err = enumerate(it, cfg, lists, sp)
+		}
 	case Iterative:
-		res, err = iterative(it, cfg, lists, sp)
+		if workers > 1 {
+			res, err = iterativeParallel(it, cfg, lists, sp)
+		} else {
+			res, err = iterative(it, cfg, lists, sp)
+		}
 	default:
 		sp.End(obs.F("error", "unknown heuristic"))
 		return SearchResult{}, fmt.Errorf("core: unknown heuristic %d", h)
@@ -120,22 +130,32 @@ func Run(p *Partitioning, cfg Config, h Heuristic) (SearchResult, []bad.Result, 
 	return res, preds, err
 }
 
-func enumerate(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (SearchResult, error) {
-	res := SearchResult{Heuristic: Enumeration}
+// enumSpaceSize multiplies the per-partition design-list lengths into the
+// combination count, enforcing the MaxCombinations guard. A zero return
+// with nil error marks an empty search space (some partition has no viable
+// prediction, so every combination is infeasible).
+func enumSpaceSize(cfg Config, lists [][]bad.Design) (int, error) {
 	limit := combinationLimit(cfg)
 	total := 1
 	for li, l := range lists {
 		if len(l) == 0 {
-			// A partition without viable predictions makes every
-			// combination infeasible: nothing to search.
-			return res, nil
+			return 0, nil
 		}
 		if total > limit/len(l) {
-			return res, fmt.Errorf(
+			return 0, fmt.Errorf(
 				"core: enumeration space exceeds %d combinations (at least %d after %d of %d partitions); enable pruning or raise Config.MaxCombinations",
 				limit, int64(total)*int64(len(l)), li+1, len(lists))
 		}
 		total *= len(l)
+	}
+	return total, nil
+}
+
+func enumerate(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (SearchResult, error) {
+	res := SearchResult{Heuristic: Enumeration}
+	total, err := enumSpaceSize(cfg, lists)
+	if err != nil || total == 0 {
+		return res, err
 	}
 	if sp != nil {
 		// Announce the enumeration-space size so live consumers (the
@@ -148,38 +168,55 @@ func enumerate(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (
 		if err := cfg.canceled(); err != nil {
 			return res, err
 		}
-		for i, j := range idx {
-			choice[i] = lists[i][j]
-		}
-		// The system interval is set by the slowest partition
-		// implementation in the combination.
-		l := 0
-		for _, d := range choice {
-			if ii := d.IIMainCycles(cfg.Clocks); ii > l {
-				l = ii
-			}
-		}
-		res.Trials++
-		g, err := it.evalTrial(sp, cloneChoice(choice), l)
-		if err != nil {
+		if err := enumTrial(it, cfg, &res, lists, idx, choice, sp); err != nil {
 			return res, err
 		}
-		record(&res, cfg, g, sp)
-		// odometer
-		i := len(idx) - 1
-		for ; i >= 0; i-- {
-			idx[i]++
-			if idx[i] < len(lists[i]) {
-				break
-			}
-			idx[i] = 0
-		}
-		if i < 0 {
+		if !advanceOdometer(idx, lists) {
 			break
 		}
 	}
 	finishSearch(&res)
 	return res, nil
+}
+
+// enumTrial evaluates the combination named by idx and books it into res.
+// idx and choice are caller-owned scratch (one combination decode per
+// trial, no allocation); the evaluated choice itself is cloned before it
+// escapes into the result.
+func enumTrial(it *integrator, cfg Config, res *SearchResult,
+	lists [][]bad.Design, idx []int, choice []bad.Design, sp *obs.Span) error {
+
+	for i, j := range idx {
+		choice[i] = lists[i][j]
+	}
+	// The system interval is set by the slowest partition implementation
+	// in the combination.
+	l := 0
+	for _, d := range choice {
+		if ii := d.IIMainCycles(cfg.Clocks); ii > l {
+			l = ii
+		}
+	}
+	res.Trials++
+	g, err := it.evalTrial(sp, cloneChoice(choice), l)
+	if err != nil {
+		return err
+	}
+	record(res, cfg, g, sp)
+	return nil
+}
+
+// advanceOdometer steps idx to the next combination (last digit fastest)
+// and reports whether one exists.
+func advanceOdometer(idx []int, lists [][]bad.Design) bool {
+	for i := len(idx) - 1; i >= 0; i-- {
+		idx[i]++
+		if idx[i] < len(lists[i]) {
+			return true
+		}
+		idx[i] = 0
+	}
+	return false
 }
 
 // iterative implements the paper's Figure 5 algorithm.
@@ -190,9 +227,24 @@ func iterative(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (
 			return res, nil // see enumerate: no viable combination exists
 		}
 	}
-	// Candidate system initiation intervals: every distinct II offered by
-	// any partition that is not below the floor imposed by the slowest
-	// partition's fastest design, bounded by the performance constraint.
+	intervals := iterativeIntervals(cfg, lists)
+	if sp != nil {
+		sp.Point("space", obs.F("intervals", len(intervals)))
+	}
+	for _, l := range intervals {
+		if err := iterativeInterval(it, cfg, lists, l, &res, sp); err != nil {
+			return res, err
+		}
+	}
+	finishSearch(&res)
+	return res, nil
+}
+
+// iterativeIntervals computes the candidate system initiation intervals:
+// every distinct II offered by any partition that is not below the floor
+// imposed by the slowest partition's fastest design, bounded by the
+// performance constraint. Ascending, so faster designs are tried first.
+func iterativeIntervals(cfg Config, lists [][]bad.Design) []int {
 	floor := 0
 	for _, list := range lists {
 		min := list[0].IIMainCycles(cfg.Clocks)
@@ -222,89 +274,87 @@ func iterative(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (
 		intervals = append(intervals, l)
 	}
 	sort.Ints(intervals)
-	if sp != nil {
-		sp.Point("space", obs.F("intervals", len(intervals)))
-	}
+	return intervals
+}
 
-	for _, l := range intervals {
-		// Initialize W_i to the fastest valid implementation at interval l
-		// (paper: advance each W_i until L_i >= l or W_i is non-pipelined
-		// with L_i <= l).
-		w := make([]int, len(lists))
-		valid := true
-		for i, list := range lists {
-			w[i] = nextValid(list, -1, l, cfg)
-			if w[i] < 0 {
-				valid = false
-				break
-			}
-		}
-		if !valid {
-			continue
-		}
-		for {
-			if err := cfg.canceled(); err != nil {
-				return res, err
-			}
-			choice := make([]bad.Design, len(lists))
-			for i := range lists {
-				choice[i] = lists[i][w[i]]
-			}
-			res.Trials++
-			g, err := it.evalTrial(sp, choice, l)
-			if err != nil {
-				return res, err
-			}
-			record(&res, cfg, g, sp)
-			if g.Feasible {
-				break // Q := nil
-			}
-			// Q: partitions residing on chips whose area constraint was
-			// violated by the last integration prediction.
-			q := partitionsOnChips(it.p, g.AreaViolations)
-			if len(q) == 0 {
-				break
-			}
-			// Tentatively serialize each candidate and keep the one whose
-			// expected system delay (via urgency scheduling) is minimal.
-			bestQ, bestDelay := -1, 0
-			for _, pi := range q {
-				ni := nextValid(lists[pi], w[pi], l, cfg)
-				if ni < 0 {
-					continue
-				}
-				trial := make([]bad.Design, len(lists))
-				for i := range lists {
-					trial[i] = lists[i][w[i]]
-				}
-				trial[pi] = lists[pi][ni]
-				res.Trials++
-				tg, err := it.evalTrial(sp, trial, l)
-				if err != nil {
-					return res, err
-				}
-				record(&res, cfg, tg, sp)
-				if bestQ < 0 || tg.DelayMain < bestDelay {
-					bestQ, bestDelay = pi, tg.DelayMain
-				}
-			}
-			if bestQ < 0 {
-				break // no partition can be serialized further
-			}
-			// The Figure-5 serialization step: slow down bestQ's partition
-			// to shrink its area footprint on the violating chip.
-			if sp != nil {
-				sp.Point("serialize", obs.F("ii", l),
-					obs.F("partition", bestQ+1), obs.F("delay", bestDelay))
-			}
-			if cfg.Metrics != nil {
-				cfg.Metrics.Inc("core.serializations")
-			}
-			w[bestQ] = nextValid(lists[bestQ], w[bestQ], l, cfg)
+// iterativeInterval runs the Figure-5 serialization loop for one candidate
+// system interval, booking every examined trial into res. The loop for one
+// interval is independent of every other interval's, which is what lets
+// iterativeParallel fan intervals out across workers and merge the
+// per-interval results back in interval order.
+func iterativeInterval(it *integrator, cfg Config, lists [][]bad.Design, l int,
+	res *SearchResult, sp *obs.Span) error {
+
+	// Initialize W_i to the fastest valid implementation at interval l
+	// (paper: advance each W_i until L_i >= l or W_i is non-pipelined
+	// with L_i <= l).
+	w := make([]int, len(lists))
+	for i, list := range lists {
+		w[i] = nextValid(list, -1, l, cfg)
+		if w[i] < 0 {
+			return nil
 		}
 	}
-	finishSearch(&res)
-	return res, nil
+	for {
+		if err := cfg.canceled(); err != nil {
+			return err
+		}
+		choice := make([]bad.Design, len(lists))
+		for i := range lists {
+			choice[i] = lists[i][w[i]]
+		}
+		res.Trials++
+		g, err := it.evalTrial(sp, choice, l)
+		if err != nil {
+			return err
+		}
+		record(res, cfg, g, sp)
+		if g.Feasible {
+			return nil // Q := nil
+		}
+		// Q: partitions residing on chips whose area constraint was
+		// violated by the last integration prediction.
+		q := partitionsOnChips(it.p, g.AreaViolations)
+		if len(q) == 0 {
+			return nil
+		}
+		// Tentatively serialize each candidate and keep the one whose
+		// expected system delay (via urgency scheduling) is minimal.
+		bestQ, bestDelay := -1, 0
+		for _, pi := range q {
+			ni := nextValid(lists[pi], w[pi], l, cfg)
+			if ni < 0 {
+				continue
+			}
+			trial := make([]bad.Design, len(lists))
+			for i := range lists {
+				trial[i] = lists[i][w[i]]
+			}
+			trial[pi] = lists[pi][ni]
+			res.Trials++
+			tg, err := it.evalTrial(sp, trial, l)
+			if err != nil {
+				return err
+			}
+			record(res, cfg, tg, sp)
+			if bestQ < 0 || tg.DelayMain < bestDelay {
+				bestQ, bestDelay = pi, tg.DelayMain
+			}
+		}
+		if bestQ < 0 {
+			return nil // no partition can be serialized further
+		}
+		// The Figure-5 serialization step: slow down bestQ's partition
+		// to shrink its area footprint on the violating chip.
+		if sp != nil {
+			sp.Point("serialize", obs.F("ii", l),
+				obs.F("partition", bestQ+1), obs.F("delay", bestDelay))
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.Inc("core.serializations")
+		}
+		w[bestQ] = nextValid(lists[bestQ], w[bestQ], l, cfg)
+	}
 }
 
 // nextValid returns the index of the first design after `from` that is
@@ -343,6 +393,11 @@ func cloneChoice(c []bad.Design) []bad.Design {
 // record books a trial into the search result, applying level-2 pruning:
 // infeasible global predictions are discarded immediately unless KeepAll.
 // The pruning decision is emitted as a trace event when tracing is on.
+//
+// record always appends to a single-goroutine result: the serial search's
+// one SearchResult, or a parallel shard's private buffer (see mergeShard).
+// KeepAll runs therefore never interleave Space appends across shards, and
+// no mutex guards the result.
 func record(res *SearchResult, cfg Config, g GlobalDesign, sp *obs.Span) {
 	if g.Feasible {
 		res.FeasibleTrials++

@@ -80,6 +80,11 @@ func runSpec(ctx context.Context, raw json.RawMessage, jc JobContext) (core.Sear
 	prob.Config.Ctx = ctx
 	prob.Config.Trace = jc.Tracer
 	prob.Config.Metrics = jc.Metrics
+	if prob.Config.PredictCache == nil {
+		// The spec didn't bring its own cache: share the server-wide one,
+		// so repeated evaluations of the same partitions skip BAD.
+		prob.Config.PredictCache = jc.Cache
+	}
 	res, preds, err := core.Run(prob.Partitioning, prob.Config, prob.Heuristic)
 	return res, preds, prob, err
 }
@@ -196,6 +201,7 @@ func expJob(n int) JobFunc {
 		e.Cfg.Ctx = ctx
 		e.Cfg.Trace = jc.Tracer
 		e.Cfg.Metrics = jc.Metrics
+		e.Cfg.PredictCache = jc.Cache
 		counts, err := e.PredictionCounts()
 		if err != nil {
 			return nil, err

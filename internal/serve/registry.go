@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chop/internal/bad"
 	"chop/internal/obs"
 )
 
@@ -46,11 +47,14 @@ func (s State) Terminal() bool {
 // JobContext carries the per-run observability plumbing into a job: a
 // tracer feeding the run's replay ring (and any live SSE subscribers), a
 // private metrics registry merged into the server-wide one at completion,
-// and a logger pre-tagged with the run id.
+// a logger pre-tagged with the run id, and the server-wide prediction
+// cache shared by every run (content-keyed, so reuse across differing
+// specs is safe).
 type JobContext struct {
 	Tracer  *obs.Tracer
 	Metrics *obs.Metrics
 	Log     *slog.Logger
+	Cache   *bad.PredictCache
 }
 
 // JobFunc executes one run kind. The context is cancelled on run
@@ -166,6 +170,10 @@ type RegistryOptions struct {
 	Metrics *obs.Metrics
 	// Log receives run-transition records. Nil discards.
 	Log *slog.Logger
+	// PredictCache sizes the server-wide BAD prediction cache shared by
+	// every run: positive is a capacity in entries, 0 (the default)
+	// selects the default capacity, negative disables caching.
+	PredictCache int
 }
 
 // Registry supervises runs: a bounded queue feeding a fixed worker pool,
@@ -181,6 +189,7 @@ type Registry struct {
 	jobs     map[string]Job
 	metrics  *obs.Metrics
 	log      *slog.Logger
+	cache    *bad.PredictCache
 	ringCap  int
 	workers  int
 	baseCtx  context.Context
@@ -209,6 +218,10 @@ func NewRegistry(opts RegistryOptions) *Registry {
 	if opts.Log == nil {
 		opts.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	var cache *bad.PredictCache
+	if opts.PredictCache >= 0 {
+		cache = bad.NewPredictCache(opts.PredictCache)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Registry{
 		runs:    make(map[string]*Run),
@@ -216,6 +229,7 @@ func NewRegistry(opts RegistryOptions) *Registry {
 		jobs:    opts.Jobs,
 		metrics: opts.Metrics,
 		log:     opts.Log,
+		cache:   cache,
 		ringCap: opts.RingCapacity,
 		workers: opts.MaxConcurrent,
 		baseCtx: ctx,
@@ -378,6 +392,7 @@ func (r *Registry) execute(run *Run) {
 		Tracer:  obs.New(run.ring),
 		Metrics: perRun,
 		Log:     log,
+		Cache:   r.cache,
 	})
 
 	run.ring.Close()

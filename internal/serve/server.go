@@ -36,6 +36,10 @@ type Options struct {
 	// Jobs overrides the run-kind table (default DefaultJobs()); tests
 	// inject synthetic jobs here.
 	Jobs map[string]Job
+	// PredictCache sizes the server-wide BAD prediction cache shared by
+	// every run (positive: capacity in entries, 0: default capacity,
+	// negative: disabled). Content keying makes cross-run sharing safe.
+	PredictCache int
 }
 
 // Server is the CHOP service plane: run supervision plus the HTTP
@@ -75,6 +79,7 @@ func New(opts Options) *Server {
 		Jobs:          opts.Jobs,
 		Metrics:       opts.Metrics,
 		Log:           opts.Log,
+		PredictCache:  opts.PredictCache,
 	})
 	s.ready.Store(true)
 	s.healthy.Store(true)

@@ -76,6 +76,14 @@ type File struct {
 	Power        ConstraintSpec `json:"power,omitempty"`
 	// Heuristic is "E" (enumeration, default) or "I" (iterative).
 	Heuristic string `json:"heuristic,omitempty"`
+	// Workers selects the search parallelism: 0 or 1 runs serially, N > 1
+	// uses N worker goroutines, negative uses all cores. Any worker count
+	// produces the identical result. The CLI -workers flag overrides it.
+	Workers int `json:"workers,omitempty"`
+	// PredictCache sizes a memoizing BAD prediction cache: positive is a
+	// capacity in entries, negative selects the default capacity, 0 (the
+	// default) disables caching. The CLI -predict-cache flag overrides it.
+	PredictCache int `json:"predictCache,omitempty"`
 }
 
 // Problem is the parsed, validated form.
@@ -192,6 +200,13 @@ func (f *File) Build() (*Problem, error) {
 	}
 	if f.Power.Bound > 0 {
 		cfg.Constraints.Power = f.Power.toConstraint()
+	}
+	cfg.Workers = f.Workers
+	switch {
+	case f.PredictCache > 0:
+		cfg.PredictCache = bad.NewPredictCache(f.PredictCache)
+	case f.PredictCache < 0:
+		cfg.PredictCache = bad.NewPredictCache(0)
 	}
 
 	p := &core.Partitioning{
