@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench gobench fuzz cover serve ci
+.PHONY: all build vet lint test race bench gobench fuzz chaos cover serve ci
 
 all: build
 
@@ -39,6 +39,14 @@ gobench:
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test -fuzz=FuzzPredictCacheKey -fuzztime=$(FUZZTIME) ./internal/bad
+
+# chaos runs the fault-injected service-plane smoke: an in-process server
+# with ~10% injected job faults under random submissions and cancels,
+# asserting the registry drains clean (no stuck runs, no leaked goroutines).
+CHAOS_SECS ?= 30
+chaos:
+	CHOP_CHAOS_SMOKE=1 CHOP_CHAOS_SMOKE_SECS=$(CHAOS_SECS) \
+		$(GO) test ./internal/serve -run TestChaosSmoke -count=1 -v
 
 # cover writes coverage.out plus a browsable HTML report.
 cover:

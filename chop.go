@@ -51,6 +51,7 @@ import (
 	"chop/internal/lib"
 	"chop/internal/mem"
 	"chop/internal/obs"
+	"chop/internal/resilience"
 	"chop/internal/rtl"
 	"chop/internal/serve"
 	"chop/internal/sim"
@@ -428,6 +429,54 @@ var (
 	// (levels x width nodes of the given bit width).
 	StressDFG = benchkit.StressDFG
 )
+
+// Fault-tolerance types (package resilience): panic isolation, retries
+// with backoff, versioned checkpoints and the fault-injection harness.
+// Config.CheckpointPath/Resume and Config.Inject wire them into the search
+// pipeline; ServeOptions.DefaultJobTimeout and ServeOptions.Inject into the
+// service plane.
+type (
+	// Injector injects faults (errors, panics, stalls) at named sites for
+	// chaos testing; a nil *Injector is inert.
+	Injector = resilience.Injector
+	// PanicError is a panic recovered by a guard, with site and stack.
+	PanicError = resilience.PanicError
+	// InjectedError marks a fault produced by an Injector.
+	InjectedError = resilience.InjectedError
+	// RetryPolicy shapes Retry: attempts, capped exponential backoff,
+	// deterministic jitter.
+	RetryPolicy = resilience.RetryPolicy
+	// SubmitOptions carries per-run policy (deadline, checkpoint path)
+	// into ServeRegistry.SubmitWith.
+	SubmitOptions = serve.SubmitOptions
+)
+
+var (
+	// GuardPanics runs fn, converting a panic into a *PanicError.
+	GuardPanics = resilience.Guard
+	// IsPanic extracts the *PanicError from an error chain.
+	IsPanic = resilience.IsPanic
+	// Retry runs fn under a RetryPolicy until success, a Permanent error,
+	// context cancellation, or exhaustion.
+	Retry = resilience.Retry
+	// PermanentError marks an error as non-retryable for Retry.
+	PermanentError = resilience.Permanent
+	// IsInjectedFault reports whether an error came from an Injector.
+	IsInjectedFault = resilience.IsInjected
+	// ParseInjector parses a fault-injection spec such as
+	// "seed=7,core.trial=error:@10,serve.job=panic:0.05" (empty: nil).
+	ParseInjector = resilience.Parse
+	// InjectorFromEnv parses $CHOP_FAULT_INJECT.
+	InjectorFromEnv = resilience.FromEnv
+	// SaveCheckpoint / LoadCheckpoint read and write versioned, atomically
+	// replaced JSON checkpoint files.
+	SaveCheckpoint = resilience.SaveCheckpoint
+	LoadCheckpoint = resilience.LoadCheckpoint
+)
+
+// ErrJobTimeout is the failure cause of a served run that exhausted its
+// wall-clock deadline.
+var ErrJobTimeout = serve.ErrJobTimeout
 
 // Advisor types (package advisor).
 type (

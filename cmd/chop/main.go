@@ -27,6 +27,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,6 +43,7 @@ import (
 	"chop/internal/experiments"
 	"chop/internal/hlspec"
 	"chop/internal/obs"
+	"chop/internal/resilience"
 	"chop/internal/rtl"
 	"chop/internal/sim"
 	"chop/internal/spec"
@@ -113,8 +115,8 @@ func usage() {
   bench                run the performance harness (-json writes BENCH_<n>.json,
                        -compare old.json new.json gates regressions)
   serve                start the HTTP service plane (-addr, -max-concurrent,
-                       -queue, -ring, -grace, -predict-cache, -log-level,
-                       -log-json); submit
+                       -queue, -ring, -grace, -predict-cache, -job-timeout,
+                       -inject, -log-level, -log-json); submit
                        runs on POST /api/v1/runs, stream traces on
                        /api/v1/runs/{id}/events, scrape /metrics
   version              print the binary's build identity (go version, revision)
@@ -131,6 +133,13 @@ eval, synth, exp1, exp2 and advise also accept:
                        all cores); parallel results are identical to serial
   -predict-cache n     memoize BAD predictions in an n-entry LRU cache
                        (0 disables, negative selects the default capacity)
+  -checkpoint file     snapshot search progress to this file (removed on success)
+  -resume              resume from a matching -checkpoint snapshot; mismatched
+                       or missing snapshots fall back to a fresh start
+  -inject spec         inject faults for chaos testing, e.g.
+                       'seed=1,core.trial=error:@10,bad.predict=panic:0.01'
+                       (sites: bad.predict, core.trial, serve.job, sink.write,
+                       checkpoint.save; also via $CHOP_FAULT_INJECT)
 `)
 }
 
@@ -241,6 +250,10 @@ type obsFlags struct {
 	workers      *int
 	predictCache *int
 
+	checkpoint *string
+	resume     *bool
+	inject     *string
+
 	fs *flag.FlagSet
 }
 
@@ -256,6 +269,9 @@ func addObsFlags(fs *flag.FlagSet) *obsFlags {
 		blockprofile: fs.String("blockprofile", "", "write a goroutine-blocking profile to this file"),
 		workers:      fs.Int("workers", 1, "search worker goroutines (1 = serial, 0 or negative = all cores); results are identical at any worker count"),
 		predictCache: fs.Int("predict-cache", 0, "memoize BAD predictions in an LRU cache of this many entries (0 disables, negative = default capacity)"),
+		checkpoint:   fs.String("checkpoint", "", "snapshot search progress to this file; removed on success"),
+		resume:       fs.Bool("resume", false, "resume from a matching -checkpoint snapshot (fresh start if absent or mismatched)"),
+		inject:       fs.String("inject", "", "fault-injection spec, e.g. 'seed=1,core.trial=error:@10' (default: $"+resilience.EnvFaultInject+")"),
 	}
 }
 
@@ -297,6 +313,26 @@ func (o *obsFlags) attach(cfg *core.Config) (func() error, error) {
 			cfg.PredictCache = nil
 		}
 	}
+	if *o.checkpoint != "" {
+		cfg.CheckpointPath = *o.checkpoint
+		cfg.Resume = *o.resume
+	} else if *o.resume {
+		return nil, fmt.Errorf("-resume requires -checkpoint")
+	}
+	// Fault injection: the flag wins, the environment variable is the
+	// fallback (so CI chaos runs can inject without touching invocations).
+	// Parse errors surface here, before anything is opened.
+	if *o.inject != "" {
+		inj, err := resilience.Parse(*o.inject)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Inject = inj
+	} else if inj, err := resilience.FromEnv(); err != nil {
+		return nil, fmt.Errorf("$%s: %w", resilience.EnvFaultInject, err)
+	} else if inj != nil {
+		cfg.Inject = inj
+	}
 	var sinks []obs.Sink
 	var file *obs.FileSink
 	if *o.trace != "" {
@@ -305,6 +341,7 @@ func (o *obsFlags) attach(cfg *core.Config) (func() error, error) {
 		if err != nil {
 			return nil, err
 		}
+		file.Inject(cfg.Inject) // "sink.write" chaos site; nil is inert
 		sinks = append(sinks, file)
 	}
 	var prog *obs.ProgressSink
@@ -361,9 +398,20 @@ func (o *obsFlags) attach(cfg *core.Config) (func() error, error) {
 			fmt.Print(m.Text())
 		}
 		if promFile != nil {
-			if _, err := promFile.WriteString(m.PromText()); err != nil {
-				keep(fmt.Errorf("prom: %w", err))
-			}
+			// Retried with truncate-and-rewrite semantics, so a transient
+			// write failure cannot leave a half-written exposition behind.
+			keep(resilience.Retry(context.Background(), resilience.RetryPolicy{
+				Attempts: 3, BaseDelay: 5 * time.Millisecond, Seed: 1,
+			}, func() error {
+				if err := promFile.Truncate(0); err != nil {
+					return err
+				}
+				if _, err := promFile.Seek(0, io.SeekStart); err != nil {
+					return err
+				}
+				_, err := promFile.WriteString(m.PromText())
+				return err
+			}))
 			keep(promFile.Close())
 		}
 		if file != nil {

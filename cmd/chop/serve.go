@@ -10,6 +10,7 @@ import (
 	"syscall"
 
 	"chop/internal/obs"
+	"chop/internal/resilience"
 	"chop/internal/serve"
 )
 
@@ -56,6 +57,8 @@ func serveCmd(args []string) error {
 	ring := fs.Int("ring", 0, "per-run trace replay ring capacity (0 = default 4096)")
 	grace := fs.Duration("grace", 0, "graceful-shutdown grace period (0 = default 10s)")
 	predictCache := fs.Int("predict-cache", 0, "server-wide BAD prediction cache entries (0 = default capacity, negative = disabled)")
+	jobTimeout := fs.Duration("job-timeout", 0, "default per-run wall-clock deadline; runs exceeding it are marked failed (0 = unbounded, overridable per submission via timeoutSec)")
+	injectSpec := fs.String("inject", "", "fault-injection spec for chaos testing (default: $"+resilience.EnvFaultInject+")")
 	lf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +69,19 @@ func serveCmd(args []string) error {
 	}
 	slog.SetDefault(log)
 
+	inject, err := resilience.Parse(*injectSpec)
+	if err != nil {
+		return err
+	}
+	if inject == nil {
+		if inject, err = resilience.FromEnv(); err != nil {
+			return fmt.Errorf("$%s: %w", resilience.EnvFaultInject, err)
+		}
+	}
+	if inject != nil {
+		log.Warn("fault injection ACTIVE", "spec", inject.String())
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -73,13 +89,15 @@ func serveCmd(args []string) error {
 	log.Info("chop serve starting", "addr", *addr,
 		"goVersion", bi.GoVersion, "revision", bi.Revision)
 	s := serve.New(serve.Options{
-		Addr:          *addr,
-		MaxConcurrent: *maxConcurrent,
-		QueueDepth:    *queue,
-		RingCapacity:  *ring,
-		ShutdownGrace: *grace,
-		Log:           log,
-		PredictCache:  *predictCache,
+		Addr:              *addr,
+		MaxConcurrent:     *maxConcurrent,
+		QueueDepth:        *queue,
+		RingCapacity:      *ring,
+		ShutdownGrace:     *grace,
+		Log:               log,
+		PredictCache:      *predictCache,
+		DefaultJobTimeout: *jobTimeout,
+		Inject:            inject,
 	})
 	return s.ListenAndServe(ctx)
 }

@@ -31,6 +31,7 @@ import (
 	"chop/internal/dfg"
 	"chop/internal/lib"
 	"chop/internal/obs"
+	"chop/internal/resilience"
 	"chop/internal/sched"
 	"chop/internal/stats"
 	"chop/internal/wire"
@@ -148,6 +149,10 @@ type Config struct {
 	// Result instead of re-sweeping the design space. Lookups count into
 	// the bad.predict_cache_hit / bad.predict_cache_miss metrics.
 	Cache *PredictCache
+	// Inject is the fault-injection hook: when non-nil, Predict consults
+	// the "bad.predict" site on entry and fails, panics or stalls on
+	// demand (chaos testing). Nil is inert.
+	Inject *resilience.Injector
 }
 
 // Design is one predicted implementation of a partition.
@@ -239,6 +244,9 @@ func Predict(g *dfg.Graph, cfg Config) (Result, error) {
 	}
 	if cfg.MaxRepair <= 0 {
 		cfg.MaxRepair = 6
+	}
+	if err := cfg.Inject.Fire("bad.predict"); err != nil {
+		return Result{}, err
 	}
 	var cacheKey string
 	if cfg.Cache != nil {

@@ -2,6 +2,8 @@ package benchkit
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"chop/internal/advisor"
@@ -55,6 +57,11 @@ func Workloads() []Workload {
 	ws = append(ws,
 		Workload{Name: "search/stress/w1", Run: stressSearchRun(1)},
 		Workload{Name: "search/stress/w4", Run: stressSearchRun(4)},
+		// The same searches with checkpointing on: the ckpt/stress ratio
+		// at equal worker count is the durability tax (expected < 2% — one
+		// JSON snapshot per completed shard against thousands of trials).
+		Workload{Name: "search/ckpt/w1", Run: checkpointSearchRun(1)},
+		Workload{Name: "search/ckpt/w4", Run: checkpointSearchRun(4)},
 		Workload{Name: "advisor/cached", Run: advisorCachedRun()},
 	)
 	return ws
@@ -72,45 +79,70 @@ var stressProblem struct {
 	err   error
 }
 
-func stressSearchRun(workers int) func(*obs.Metrics) error {
-	return func(m *obs.Metrics) error {
-		s := &stressProblem
-		s.once.Do(func() {
-			g := StressDFG(6, 20, 16)
-			const parts = 3
-			p := &core.Partitioning{
-				Graph:    g,
-				Parts:    dfg.LevelPartitions(g, parts),
-				PartChip: []int{0, 1, 2},
-				Chips:    chip.NewUniformSet(parts, chip.MOSISPackages()[1], 4),
-			}
-			cfg := core.Config{
-				Lib:    lib.ExtendedLibrary(),
-				Clocks: bad.Clocks{MainNS: 300, DatapathMult: 10, TransferMult: 1},
-				Constraints: core.Constraints{
-					Perf:  stats.Constraint{Bound: 300000, MinProb: 1},
-					Delay: stats.Constraint{Bound: 300000, MinProb: 0.8},
-				},
-				KeepAll: true,
-			}
-			preds, err := core.PredictPartitions(p, cfg)
-			if err == nil {
-				for i := range preds {
-					if len(preds[i].Designs) > 20 {
-						preds[i].Designs = preds[i].Designs[:20]
-					}
+// ensureStressProblem builds the shared problem once and reports any build
+// failure on every later call.
+func ensureStressProblem() error {
+	s := &stressProblem
+	s.once.Do(func() {
+		g := StressDFG(6, 20, 16)
+		const parts = 3
+		p := &core.Partitioning{
+			Graph:    g,
+			Parts:    dfg.LevelPartitions(g, parts),
+			PartChip: []int{0, 1, 2},
+			Chips:    chip.NewUniformSet(parts, chip.MOSISPackages()[1], 4),
+		}
+		cfg := core.Config{
+			Lib:    lib.ExtendedLibrary(),
+			Clocks: bad.Clocks{MainNS: 300, DatapathMult: 10, TransferMult: 1},
+			Constraints: core.Constraints{
+				Perf:  stats.Constraint{Bound: 300000, MinProb: 1},
+				Delay: stats.Constraint{Bound: 300000, MinProb: 0.8},
+			},
+			KeepAll: true,
+		}
+		preds, err := core.PredictPartitions(p, cfg)
+		if err == nil {
+			for i := range preds {
+				if len(preds[i].Designs) > 20 {
+					preds[i].Designs = preds[i].Designs[:20]
 				}
 			}
-			cfg.KeepAll = false // search with level-2 pruning over the fixed lists
-			s.p, s.cfg, s.preds, s.err = p, cfg, preds, err
-		})
-		if s.err != nil {
-			return s.err
 		}
-		cfg := s.cfg
+		cfg.KeepAll = false // search with level-2 pruning over the fixed lists
+		s.p, s.cfg, s.preds, s.err = p, cfg, preds, err
+	})
+	return s.err
+}
+
+func stressSearchRun(workers int) func(*obs.Metrics) error {
+	return func(m *obs.Metrics) error {
+		if err := ensureStressProblem(); err != nil {
+			return err
+		}
+		cfg := stressProblem.cfg
 		cfg.Workers = workers
 		cfg.Metrics = m
-		_, err := core.Search(s.p, cfg, s.preds, core.Enumeration)
+		_, err := core.Search(stressProblem.p, cfg, stressProblem.preds, core.Enumeration)
+		return err
+	}
+}
+
+// checkpointSearchRun is the stress search with per-shard checkpointing:
+// identical work to stressSearchRun plus one atomic JSON snapshot per
+// completed shard. A successful search removes its checkpoint, so every
+// iteration starts fresh and the measurement stays steady-state.
+func checkpointSearchRun(workers int) func(*obs.Metrics) error {
+	return func(m *obs.Metrics) error {
+		if err := ensureStressProblem(); err != nil {
+			return err
+		}
+		cfg := stressProblem.cfg
+		cfg.Workers = workers
+		cfg.Metrics = m
+		cfg.CheckpointPath = filepath.Join(os.TempDir(),
+			fmt.Sprintf("chop-bench-ckpt-w%d.json", workers))
+		_, err := core.Search(stressProblem.p, cfg, stressProblem.preds, core.Enumeration)
 		return err
 	}
 }

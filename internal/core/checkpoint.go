@@ -1,0 +1,211 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"chop/internal/bad"
+	"chop/internal/obs"
+	"chop/internal/resilience"
+)
+
+// This file implements checkpoint/resume for the sharded search engine.
+// The unit of durability is the shard: a shard's private SearchResult
+// depends only on its own combination range, so a snapshot of the completed
+// shards plus the shard geometry is enough to restart a search exactly
+// where it stopped. Incomplete shards are simply re-run; completed ones are
+// restored verbatim and merged in the usual shard order, which makes a
+// resumed result byte-identical to an uninterrupted one (enforced by
+// TestCheckpointResumeByteIdentical).
+
+// checkpointKind tags the search checkpoint payload inside the versioned
+// resilience envelope.
+const checkpointKind = "chop/search-shards"
+
+// searchCheckpoint is the persisted payload.
+type searchCheckpoint struct {
+	// Signature fingerprints the exact search (problem content, search
+	// knobs, shard geometry) this snapshot belongs to; resume refuses a
+	// checkpoint whose signature differs.
+	Signature string `json:"signature"`
+	// Done maps completed shard indices to their private results.
+	Done map[int]*SearchResult `json:"done"`
+}
+
+// searchSignature fingerprints everything that determines a shard's
+// content: the partitioning structure, the per-partition design lists, the
+// feasibility knobs and the shard geometry. The worker count is deliberately
+// absent — it only affects scheduling — but the shard count is not, because
+// enumeration shard boundaries derive from it.
+func searchSignature(p *Partitioning, cfg Config, h Heuristic, lists [][]bad.Design, shards, total int) (string, error) {
+	payload := struct {
+		Heuristic   string
+		Shards      int
+		Total       int
+		Graph       string
+		Nodes       int
+		Edges       int
+		Parts       [][]int
+		PartChip    []int
+		Chips       any
+		Mem         any
+		Clocks      bad.Clocks
+		Constraints Constraints
+		MaxBusPins  int
+		KeepAll     bool
+		Lists       [][]bad.Design
+	}{
+		Heuristic: h.String(), Shards: shards, Total: total,
+		Graph: p.Graph.Name, Nodes: len(p.Graph.Nodes), Edges: len(p.Graph.Edges),
+		Parts: p.Parts, PartChip: p.PartChip, Chips: p.Chips, Mem: p.Mem,
+		Clocks: cfg.Clocks, Constraints: cfg.Constraints,
+		MaxBusPins: cfg.MaxBusPins, KeepAll: cfg.KeepAll, Lists: lists,
+	}
+	blob, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("core: checkpoint signature: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// checkpointer coordinates periodic snapshots of one sharded search.
+// Workers report completed shards through markDone; every cfg-selected
+// number of completions the done-set is written atomically. All methods are
+// nil-safe so the engines call them unconditionally.
+type checkpointer struct {
+	mu      sync.Mutex
+	cfg     Config
+	sig     string
+	every   int
+	pending int // completions since the last save
+	done    map[int]*SearchResult
+	sp      *obs.Span
+}
+
+// newCheckpointer builds the checkpointer for one search, resuming from an
+// existing matching snapshot when cfg.Resume is set. It returns the
+// (possibly nil) checkpointer and the set of shards to skip, with their
+// results already restored into outs. Load problems — missing file, foreign
+// kind/version, signature mismatch — are not errors: the search starts
+// fresh and the stale file is overwritten by the first save.
+func newCheckpointer(p *Partitioning, cfg Config, h Heuristic, lists [][]bad.Design,
+	shards, total int, outs []shardOut, sp *obs.Span) (*checkpointer, map[int]bool, error) {
+
+	if cfg.CheckpointPath == "" {
+		return nil, nil, nil
+	}
+	sig, err := searchSignature(p, cfg, h, lists, shards, total)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := &checkpointer{
+		cfg: cfg, sig: sig, every: cfg.CheckpointEvery,
+		done: make(map[int]*SearchResult), sp: sp,
+	}
+	if c.every <= 0 {
+		c.every = 1
+	}
+	skip := make(map[int]bool)
+	if !cfg.Resume {
+		return c, skip, nil
+	}
+	var snap searchCheckpoint
+	if err := resilience.LoadCheckpoint(cfg.CheckpointPath, checkpointKind, &snap); err != nil {
+		cfg.Metrics.Inc("resilience.checkpoint_load_skipped")
+		return c, skip, nil
+	}
+	if snap.Signature != sig {
+		cfg.Metrics.Inc("resilience.checkpoint_mismatch")
+		if sp != nil {
+			sp.Point("checkpoint", obs.F("resumed", false), obs.F("reason", "signature-mismatch"))
+		}
+		return c, skip, nil
+	}
+	for si, res := range snap.Done {
+		if si < 0 || si >= shards || res == nil {
+			continue
+		}
+		outs[si].res = *res
+		c.done[si] = res
+		skip[si] = true
+	}
+	cfg.Metrics.Add("resilience.checkpoint_resumed_shards", int64(len(skip)))
+	if sp != nil {
+		sp.Point("checkpoint", obs.F("resumed", true), obs.F("shards", len(skip)))
+	}
+	return c, skip, nil
+}
+
+// markDone records a completed shard and snapshots when the cadence is due.
+// Called concurrently by workers; the file write happens under the mutex so
+// snapshots are internally consistent.
+func (c *checkpointer) markDone(si int, res *SearchResult) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[si] = res
+	c.pending++
+	if c.pending >= c.every {
+		c.saveLocked()
+	}
+}
+
+// flush forces a snapshot of whatever has completed — called on the way out
+// of an aborted search so a cancelled or failed run leaves its maximal
+// resumable state behind.
+func (c *checkpointer) flush() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pending > 0 || len(c.done) > 0 {
+		c.saveLocked()
+	}
+}
+
+// finish removes the checkpoint after a successful search: the snapshot is
+// consumed, and a later unrelated run must not resume from it.
+func (c *checkpointer) finish() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := os.Remove(c.cfg.CheckpointPath); err != nil && !os.IsNotExist(err) {
+		c.cfg.Metrics.Inc("resilience.checkpoint_remove_failed")
+	}
+}
+
+// saveLocked writes the snapshot with a short retry, absorbing transient
+// I/O failures (and injected "checkpoint.save" faults). A save that still
+// fails after the retries is recorded but does not kill the search —
+// checkpoint durability is best-effort by design.
+func (c *checkpointer) saveLocked() {
+	c.pending = 0
+	snap := searchCheckpoint{Signature: c.sig, Done: c.done}
+	err := resilience.Retry(c.cfg.Ctx, resilience.RetryPolicy{
+		Attempts: 3, BaseDelay: 5 * time.Millisecond, Seed: 1,
+	}, func() error {
+		if err := c.cfg.Inject.Fire("checkpoint.save"); err != nil {
+			return err
+		}
+		return resilience.SaveCheckpoint(c.cfg.CheckpointPath, checkpointKind, snap)
+	})
+	if err != nil {
+		c.cfg.Metrics.Inc("resilience.checkpoint_save_failed")
+		if c.sp != nil {
+			c.sp.Point("checkpoint", obs.F("save", "failed"), obs.F("error", err.Error()))
+		}
+		return
+	}
+	c.cfg.Metrics.Inc("resilience.checkpoint_saves")
+}

@@ -212,6 +212,9 @@ func selectionOK(d bad.Design, l int, clocks bad.Clocks) bool {
 // tracing and metrics disabled it adds only two nil checks, so the search
 // hot path is unaffected by default.
 func (it *integrator) evalTrial(sp *obs.Span, choice []bad.Design, l int) (GlobalDesign, error) {
+	if err := it.cfg.Inject.Fire("core.trial"); err != nil {
+		return GlobalDesign{}, err
+	}
 	m := it.cfg.Metrics
 	if sp == nil && m == nil {
 		return it.integrate(choice, l)

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
 	"chop/internal/bad"
 	"chop/internal/obs"
+	"chop/internal/resilience"
 )
 
 // This file implements the concurrent search engine behind Config.Workers.
@@ -81,6 +83,34 @@ func decodeCombination(k int, lists [][]bad.Design, idx []int) {
 	}
 }
 
+// errShardInterrupted marks a shard abandoned mid-range because another
+// shard failed — not an error of its own, just "do not mark this one done".
+var errShardInterrupted = errors.New("core: shard interrupted")
+
+// runShard executes one shard body under the panic guard and reports the
+// outcome to the shared abort flag and the checkpointer. A panicking trial
+// (a prediction-model bug, a poisoned design) fails only its own shard: the
+// recovered panic becomes that shard's error, the pool drains, and every
+// other shard's partial result still merges as usual.
+func runShard(cfg Config, out *shardOut, aborted *atomic.Bool, cp *checkpointer,
+	si int, body func() error) (stop bool) {
+
+	err := resilience.Guard("core.search", body)
+	if err == errShardInterrupted {
+		return true
+	}
+	if err != nil {
+		if _, panicked := resilience.IsPanic(err); panicked {
+			cfg.Metrics.Inc("resilience.panic_recovered")
+		}
+		out.err = err
+		aborted.Store(true)
+		return true
+	}
+	cp.markDone(si, &out.res)
+	return false
+}
+
 // enumerateParallel is the sharded worker-pool form of enumerate.
 func enumerateParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (SearchResult, error) {
 	total, err := enumSpaceSize(cfg, lists)
@@ -96,6 +126,10 @@ func enumerateParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs
 		shards = total
 	}
 	outs := make([]shardOut, shards)
+	cp, skip, err := newCheckpointer(it.p, cfg, Enumeration, lists, shards, total, outs, sp)
+	if err != nil {
+		return SearchResult{Heuristic: Enumeration}, err
+	}
 	var cursor atomic.Int64 // next unclaimed shard index
 	var aborted atomic.Bool // first error/cancel stops idle pickup fast
 	var wg sync.WaitGroup
@@ -110,24 +144,29 @@ func enumerateParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs
 				if si >= shards || aborted.Load() {
 					return
 				}
-				lo, hi := shardRange(total, shards, si)
-				decodeCombination(lo, lists, idx)
+				if skip[si] {
+					continue // restored from a checkpoint
+				}
 				out := &outs[si]
-				for k := lo; k < hi; k++ {
-					if err := cfg.canceled(); err != nil {
-						out.err = err
-						aborted.Store(true)
-						return
+				stop := runShard(cfg, out, &aborted, cp, si, func() error {
+					lo, hi := shardRange(total, shards, si)
+					decodeCombination(lo, lists, idx)
+					for k := lo; k < hi; k++ {
+						if err := cfg.canceled(); err != nil {
+							return err
+						}
+						if aborted.Load() {
+							return errShardInterrupted
+						}
+						if err := enumTrial(it, cfg, &out.res, lists, idx, choice, sp); err != nil {
+							return err
+						}
+						advanceOdometer(idx, lists)
 					}
-					if aborted.Load() {
-						return
-					}
-					if err := enumTrial(it, cfg, &out.res, lists, idx, choice, sp); err != nil {
-						out.err = err
-						aborted.Store(true)
-						return
-					}
-					advanceOdometer(idx, lists)
+					return nil
+				})
+				if stop {
+					return
 				}
 			}
 		}()
@@ -135,9 +174,11 @@ func enumerateParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs
 	wg.Wait()
 	res, err := mergeShards(Enumeration, outs)
 	if err != nil {
+		cp.flush() // leave the maximal resumable state behind
 		return res, err
 	}
 	finishSearch(&res)
+	cp.finish()
 	return res, nil
 }
 
@@ -158,7 +199,14 @@ func iterativeParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs
 	if workers > len(intervals) {
 		workers = len(intervals)
 	}
+	if workers < 1 {
+		workers = 1
+	}
 	outs := make([]shardOut, len(intervals))
+	cp, skip, err := newCheckpointer(it.p, cfg, Iterative, lists, len(intervals), len(intervals), outs, sp)
+	if err != nil {
+		return SearchResult{Heuristic: Iterative}, err
+	}
 	var cursor atomic.Int64
 	var aborted atomic.Bool
 	var wg sync.WaitGroup
@@ -171,10 +219,14 @@ func iterativeParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs
 				if si >= len(intervals) || aborted.Load() {
 					return
 				}
+				if skip[si] {
+					continue // restored from a checkpoint
+				}
 				out := &outs[si]
-				if err := iterativeInterval(it, cfg, lists, intervals[si], &out.res, sp); err != nil {
-					out.err = err
-					aborted.Store(true)
+				stop := runShard(cfg, out, &aborted, cp, si, func() error {
+					return iterativeInterval(it, cfg, lists, intervals[si], &out.res, sp)
+				})
+				if stop {
 					return
 				}
 			}
@@ -183,8 +235,10 @@ func iterativeParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs
 	wg.Wait()
 	res, err := mergeShards(Iterative, outs)
 	if err != nil {
+		cp.flush()
 		return res, err
 	}
 	finishSearch(&res)
+	cp.finish()
 	return res, nil
 }

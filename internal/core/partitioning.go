@@ -17,6 +17,7 @@ import (
 	"chop/internal/lib"
 	"chop/internal/mem"
 	"chop/internal/obs"
+	"chop/internal/resilience"
 	"chop/internal/stats"
 )
 
@@ -220,6 +221,32 @@ type Config struct {
 	// re-predicting unchanged partitions. Safe to share between
 	// concurrent runs and across differing configurations.
 	PredictCache *bad.PredictCache
+	// CheckpointPath, when set, makes the search engine periodically
+	// snapshot its progress — which shards of the combination space have
+	// completed, with their partial results — into a versioned JSON
+	// checkpoint at this path, written atomically (tmp + rename). An
+	// interrupted run (cancellation, deadline, crash after the last save)
+	// restarts from the snapshot when Resume is set. Checkpointing routes
+	// the search through the sharded engine even at Workers <= 1; the
+	// result is identical either way (see DESIGN.md, "Concurrency model").
+	CheckpointPath string
+	// CheckpointEvery is the snapshot cadence in completed shards
+	// (default 1: every shard completion). Raising it trades durability
+	// for less checkpoint I/O.
+	CheckpointEvery int
+	// Resume loads CheckpointPath before searching and skips the shards
+	// it records as complete. A missing file, a different checkpoint
+	// version, or a signature mismatch (the problem, constraints or
+	// worker count changed) silently falls back to a fresh search — a
+	// checkpoint can only ever be replayed against the exact search that
+	// wrote it, so resumed results are byte-identical to uninterrupted
+	// ones.
+	Resume bool
+	// Inject is the fault-injection hook (chaos testing): when non-nil,
+	// the instrumented sites — bad.predict, core.trial, checkpoint.save —
+	// consult it and fail, panic or stall on demand. Nil — the default —
+	// costs one pointer check per site.
+	Inject *resilience.Injector
 	// Trace receives hierarchical timed spans (Run → PredictPartitions →
 	// per-partition BAD → Search → per-trial integrate) and structured
 	// events (trial examined with its rejection reason, pruning decision,
@@ -256,6 +283,7 @@ func (c Config) badConfig(chips chip.Set) bad.Config {
 		Trace:   c.Trace,
 		Metrics: c.Metrics,
 		Cache:   c.PredictCache,
+		Inject:  c.Inject,
 	}
 }
 
@@ -309,7 +337,17 @@ func predictPartitions(p *Partitioning, cfg Config, parent *obs.Span) ([]bad.Res
 		bc := cfg.badConfig(p.Chips)
 		psp := sp.Child("BAD", obs.F("partition", i+1), obs.F("nodes", len(sub.Nodes)))
 		bc.Span = psp
-		r, err := bad.Predict(sub, bc)
+		// Panic isolation: a predictor blowing up on one partition fails
+		// the run with a structured error instead of killing the process.
+		var r bad.Result
+		err := resilience.Guard("bad.predict", func() error {
+			var perr error
+			r, perr = bad.Predict(sub, bc)
+			return perr
+		})
+		if _, panicked := resilience.IsPanic(err); panicked {
+			cfg.Metrics.Inc("resilience.panic_recovered")
+		}
 		if err != nil {
 			psp.End(obs.F("error", err.Error()))
 			sp.End()

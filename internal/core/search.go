@@ -6,6 +6,7 @@ import (
 
 	"chop/internal/bad"
 	"chop/internal/obs"
+	"chop/internal/resilience"
 )
 
 // Heuristic selects the combination-search strategy (paper section 2.4:
@@ -88,27 +89,39 @@ func search(p *Partitioning, cfg Config, preds []bad.Result, h Heuristic, parent
 	sp := obs.SpanUnder(cfg.Trace, parent, "Search",
 		obs.F("heuristic", h.String()), obs.F("workers", workers))
 	defer cfg.Metrics.Timer("core.search_us")()
-	var res SearchResult
-	switch h {
-	case Enumeration:
-		if workers > 1 {
-			res, err = enumerateParallel(it, cfg, lists, sp)
-		} else {
-			res, err = enumerate(it, cfg, lists, sp)
-		}
-	case Iterative:
-		if workers > 1 {
-			res, err = iterativeParallel(it, cfg, lists, sp)
-		} else {
-			res, err = iterative(it, cfg, lists, sp)
-		}
-	default:
+	if h != Enumeration && h != Iterative {
 		sp.End(obs.F("error", "unknown heuristic"))
 		return SearchResult{}, fmt.Errorf("core: unknown heuristic %d", h)
 	}
+	// Checkpointing rides on the sharded engine: shards are the unit of
+	// durability, and the engine's merge order makes a one-worker sharded
+	// run byte-identical to the serial walk (see parallel.go), so routing
+	// a checkpointed serial request through it changes nothing else.
+	sharded := workers > 1 || cfg.CheckpointPath != ""
+	var res SearchResult
+	// The serial engines run on the caller's goroutine; the guard converts
+	// a panicking trial into an error here the same way runShard does for
+	// pool workers, so Search never takes down the process either way.
+	gerr := resilience.Guard("core.search", func() error {
+		var serr error
+		switch {
+		case h == Enumeration && sharded:
+			res, serr = enumerateParallel(it, cfg, lists, sp)
+		case h == Enumeration:
+			res, serr = enumerate(it, cfg, lists, sp)
+		case sharded:
+			res, serr = iterativeParallel(it, cfg, lists, sp)
+		default:
+			res, serr = iterative(it, cfg, lists, sp)
+		}
+		return serr
+	})
+	if _, panicked := resilience.IsPanic(gerr); panicked {
+		cfg.Metrics.Inc("resilience.panic_recovered")
+	}
 	sp.End(obs.F("trials", res.Trials), obs.F("feasible", res.FeasibleTrials),
 		obs.F("best", len(res.Best)))
-	return res, err
+	return res, gerr
 }
 
 // Run is the convenience entry point: predict every partition with BAD,

@@ -3,6 +3,8 @@ package obs
 import (
 	"bufio"
 	"os"
+
+	"chop/internal/resilience"
 )
 
 // teeSink fans every event out to several sinks in order.
@@ -51,8 +53,9 @@ func (p PushSink) Emit(ev Event) { p(ev) }
 // Close are dropped.
 type FileSink struct {
 	*WriterSink
-	f  *os.File
-	bw *bufio.Writer
+	f      *os.File
+	bw     *bufio.Writer
+	inject *resilience.Injector
 }
 
 // fileSinkBuffer is the trace buffer size; events are ~100-200 bytes, so
@@ -67,6 +70,28 @@ func NewFileSink(path string) (*FileSink, error) {
 	}
 	bw := bufio.NewWriterSize(f, fileSinkBuffer)
 	return &FileSink{WriterSink: NewWriterSink(bw), f: f, bw: bw}, nil
+}
+
+// Inject installs a fault injector on the sink's write path: every Emit
+// fires the "sink.write" site first, so chaos runs can exercise trace-write
+// failures without a broken disk.
+func (s *FileSink) Inject(inj *resilience.Injector) { s.inject = inj }
+
+// Emit writes one event, firing the injector (if any) first. An injected
+// fault latches like a real write error: the trace stops and Close reports
+// it.
+func (s *FileSink) Emit(ev Event) {
+	if s.inject != nil {
+		if err := s.inject.Fire("sink.write"); err != nil {
+			s.mu.Lock()
+			if s.err == nil {
+				s.err = err
+			}
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.WriterSink.Emit(ev)
 }
 
 // Close flushes the buffer and closes the file, reporting the first error

@@ -1,0 +1,90 @@
+package resilience
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CheckpointVersion is the envelope schema version. Bump it when the
+// envelope layout changes; payload kinds carry their own compatibility via
+// the Kind string and payload signatures.
+const CheckpointVersion = 1
+
+// envelope wraps every checkpoint payload with the version and kind that
+// LoadCheckpoint verifies, so a stale or foreign file is rejected instead
+// of being decoded into garbage state.
+type envelope struct {
+	Version int             `json:"version"`
+	Kind    string          `json:"kind"`
+	Data    json.RawMessage `json:"data"`
+}
+
+// ErrCheckpointMismatch reports a checkpoint whose version or kind does not
+// match what the loader expects. Callers treat it as "no checkpoint" and
+// start fresh.
+var ErrCheckpointMismatch = errors.New("checkpoint version/kind mismatch")
+
+// SaveCheckpoint atomically writes v as a versioned checkpoint: the JSON is
+// staged in a temp file next to path and renamed over it, so a crash
+// mid-write can never leave a torn checkpoint behind.
+func SaveCheckpoint(path, kind string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal: %w", err)
+	}
+	blob, err := json.Marshal(envelope{Version: CheckpointVersion, Kind: kind, Data: data})
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal envelope: %w", err)
+	}
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(blob)
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: write %s: %w", path, werr)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads the checkpoint at path, verifies its version and
+// kind, and decodes the payload into v. A missing file surfaces as an
+// fs.ErrNotExist-wrapped error; a version or kind mismatch as
+// ErrCheckpointMismatch.
+func LoadCheckpoint(path, kind string, v any) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		return fmt.Errorf("checkpoint: decode %s: %w", path, err)
+	}
+	if env.Version != CheckpointVersion || env.Kind != kind {
+		return fmt.Errorf("checkpoint %s: have version %d kind %q, want version %d kind %q: %w",
+			path, env.Version, env.Kind, CheckpointVersion, kind, ErrCheckpointMismatch)
+	}
+	if err := json.Unmarshal(env.Data, v); err != nil {
+		return fmt.Errorf("checkpoint: decode %s payload: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type ckptPayload struct {
+	Cursor int            `json:"cursor"`
+	Done   map[string]int `json:"done"`
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	in := ckptPayload{Cursor: 42, Done: map[string]int{"3": 7, "5": 9}}
+	if err := SaveCheckpoint(path, "chop/test", in); err != nil {
+		t.Fatal(err)
+	}
+	var out ckptPayload
+	if err := LoadCheckpoint(path, "chop/test", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cursor != 42 || out.Done["3"] != 7 || out.Done["5"] != 9 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+	// No temp files left behind.
+	entries, _ := os.ReadDir(filepath.Dir(path))
+	if len(entries) != 1 {
+		t.Fatalf("stray files after save: %v", entries)
+	}
+}
+
+func TestCheckpointOverwriteIsAtomicReplace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	for i := 0; i < 3; i++ {
+		if err := SaveCheckpoint(path, "k", ckptPayload{Cursor: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out ckptPayload
+	if err := LoadCheckpoint(path, "k", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cursor != 2 {
+		t.Fatalf("cursor = %d, want last write", out.Cursor)
+	}
+}
+
+func TestCheckpointMissingFile(t *testing.T) {
+	var out ckptPayload
+	err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent"), "k", &out)
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestCheckpointKindMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	if err := SaveCheckpoint(path, "kind-a", ckptPayload{}); err != nil {
+		t.Fatal(err)
+	}
+	var out ckptPayload
+	if err := LoadCheckpoint(path, "kind-b", &out); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestCheckpointCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	os.WriteFile(path, []byte("{torn"), 0o644)
+	var out ckptPayload
+	if err := LoadCheckpoint(path, "k", &out); err == nil {
+		t.Fatal("corrupt checkpoint loaded without error")
+	}
+}

@@ -1,0 +1,138 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy parameterizes Retry. The zero value selects the defaults:
+// 3 attempts starting at 10ms, doubling, capped at 1s, with jitter.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (default 3). 1 disables
+	// retrying: the first failure is final.
+	Attempts int
+	// BaseDelay is the wait before the second attempt (default 10ms);
+	// each subsequent wait doubles, capped at MaxDelay (default 1s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter scales each wait by a uniform factor in [1-Jitter, 1+Jitter]
+	// (default 0.2; 0 after explicit Attempts/BaseDelay still applies the
+	// default — set a negative value to disable jitter entirely).
+	Jitter float64
+	// Seed, when non-zero, makes the jitter sequence deterministic —
+	// chaos tests assert exact schedules. 0 uses a time-derived seed.
+	Seed int64
+	// Sleep overrides the waiting primitive (tests). Nil waits on a timer
+	// honoring ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	} else if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Permanent marks an error as non-retryable: Retry returns it immediately
+// without burning the remaining attempts.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return permanentError{err}
+}
+
+type permanentError struct{ err error }
+
+func (p permanentError) Error() string { return p.err.Error() }
+func (p permanentError) Unwrap() error { return p.err }
+
+// Retry runs fn up to p.Attempts times, waiting between attempts with
+// capped exponential backoff and jitter. It stops early when ctx is
+// cancelled, when fn succeeds, or when fn returns a Permanent error or a
+// context error (both mean retrying cannot help). The returned error is the
+// last attempt's, wrapped with the attempt count when every try failed.
+func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
+	p = p.withDefaults()
+	var rng *rand.Rand
+	if p.Jitter > 0 {
+		seed := p.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		rng = rand.New(rand.NewSource(seed))
+	}
+	delay := p.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				if err != nil {
+					return fmt.Errorf("retry canceled after %d attempt(s): %w", attempt-1, err)
+				}
+				return cerr
+			}
+		}
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		var perm permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		if attempt >= p.Attempts {
+			return fmt.Errorf("retry exhausted after %d attempt(s): %w", attempt, err)
+		}
+		wait := delay
+		if rng != nil {
+			f := 1 + p.Jitter*(2*rng.Float64()-1)
+			wait = time.Duration(float64(wait) * f)
+		}
+		sctx := ctx
+		if sctx == nil {
+			sctx = context.Background()
+		}
+		if serr := p.Sleep(sctx, wait); serr != nil {
+			return fmt.Errorf("retry canceled after %d attempt(s): %w", attempt, err)
+		}
+		if delay < p.MaxDelay {
+			delay *= 2
+			if delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeSleep records requested waits without actually sleeping.
+func fakeSleep(waits *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*waits = append(*waits, d)
+		return nil
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var waits []time.Duration
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{
+		Attempts: 5, BaseDelay: 10 * time.Millisecond, Jitter: -1,
+		Sleep: fakeSleep(&waits),
+	}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	// Jitter disabled: exact exponential schedule.
+	if len(waits) != 2 || waits[0] != 10*time.Millisecond || waits[1] != 20*time.Millisecond {
+		t.Fatalf("waits = %v", waits)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	var waits []time.Duration
+	calls := 0
+	boom := errors.New("still down")
+	err := Retry(context.Background(), RetryPolicy{
+		Attempts: 3, BaseDelay: time.Millisecond, Jitter: -1, Sleep: fakeSleep(&waits),
+	}, func() error { calls++; return boom })
+	if calls != 3 || !errors.Is(err, boom) {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetryCapsDelay(t *testing.T) {
+	var waits []time.Duration
+	calls := 0
+	Retry(context.Background(), RetryPolicy{
+		Attempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 25 * time.Millisecond,
+		Jitter: -1, Sleep: fakeSleep(&waits),
+	}, func() error { calls++; return errors.New("x") })
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond,
+		25 * time.Millisecond, 25 * time.Millisecond, 25 * time.Millisecond}
+	if len(waits) != len(want) {
+		t.Fatalf("waits = %v", waits)
+	}
+	for i := range want {
+		if waits[i] != want[i] {
+			t.Fatalf("waits[%d] = %v, want %v", i, waits[i], want[i])
+		}
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	fatal := errors.New("bad input")
+	err := Retry(context.Background(), RetryPolicy{Attempts: 5, BaseDelay: time.Millisecond},
+		func() error { calls++; return Permanent(fatal) })
+	if calls != 1 || !errors.Is(err, fatal) {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+}
+
+func TestRetryContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, RetryPolicy{Attempts: 10, BaseDelay: time.Millisecond}, func() error {
+		calls++
+		cancel() // cancel mid-flight: the backoff sleep must abort
+		return errors.New("transient")
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d after cancellation", calls)
+	}
+	if err == nil || !errors.Is(err, context.Canceled) && !errors.Is(errors.Unwrap(err), context.Canceled) {
+		// The wrap keeps the last attempt error; accept either shape as
+		// long as something is reported.
+		if err == nil {
+			t.Fatal("no error after cancellation")
+		}
+	}
+}
+
+func TestRetryContextErrorNotRetried(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{Attempts: 5, BaseDelay: time.Millisecond},
+		func() error { calls++; return context.DeadlineExceeded })
+	if calls != 1 || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetryDeterministicJitter(t *testing.T) {
+	run := func() []time.Duration {
+		var waits []time.Duration
+		Retry(context.Background(), RetryPolicy{
+			Attempts: 4, BaseDelay: 100 * time.Millisecond, Seed: 7, Sleep: fakeSleep(&waits),
+		}, func() error { return errors.New("x") })
+		return waits
+	}
+	a, b := run(), run()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("waits = %v / %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded jitter not deterministic: %v vs %v", a, b)
+		}
+		base := 100 * time.Millisecond << i
+		lo := time.Duration(float64(base) * 0.8)
+		hi := time.Duration(float64(base) * 1.2)
+		if a[i] < lo || a[i] > hi {
+			t.Errorf("wait %d = %v outside [%v, %v]", i, a[i], lo, hi)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 )
 
 // apiError is the JSON error envelope every non-2xx API response carries.
@@ -34,6 +35,13 @@ type submitRequest struct {
 	// Spec is the partitioning problem for eval/synth — the same JSON
 	// document the CLI's -f flag reads.
 	Spec json.RawMessage `json:"spec,omitempty"`
+	// TimeoutSec bounds the run's wall clock once it starts (0: server
+	// default; negative: explicitly unbounded). A run that exhausts its
+	// deadline is marked failed with a timeout reason.
+	TimeoutSec float64 `json:"timeoutSec,omitempty"`
+	// Checkpoint is a server-side search-checkpoint path; resubmitting
+	// with the same path resumes an interrupted search.
+	Checkpoint string `json:"checkpoint,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -47,7 +55,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining)
 		return
 	}
-	run, err := s.reg.Submit(req.Kind, req.Spec)
+	opts := SubmitOptions{Checkpoint: req.Checkpoint}
+	switch {
+	case req.TimeoutSec > 0:
+		opts.Timeout = time.Duration(req.TimeoutSec * float64(time.Second))
+	case req.TimeoutSec < 0:
+		opts.Timeout = -1 // explicitly unbounded
+	}
+	run, err := s.reg.SubmitWith(req.Kind, req.Spec, opts)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):

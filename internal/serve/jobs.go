@@ -80,6 +80,13 @@ func runSpec(ctx context.Context, raw json.RawMessage, jc JobContext) (core.Sear
 	prob.Config.Ctx = ctx
 	prob.Config.Trace = jc.Tracer
 	prob.Config.Metrics = jc.Metrics
+	prob.Config.Inject = jc.Inject
+	if jc.Checkpoint != "" {
+		// Resume is unconditional: a matching snapshot from an interrupted
+		// earlier run continues it, anything else starts fresh.
+		prob.Config.CheckpointPath = jc.Checkpoint
+		prob.Config.Resume = true
+	}
 	if prob.Config.PredictCache == nil {
 		// The spec didn't bring its own cache: share the server-wide one,
 		// so repeated evaluations of the same partitions skip BAD.
@@ -202,6 +209,7 @@ func expJob(n int) JobFunc {
 		e.Cfg.Trace = jc.Tracer
 		e.Cfg.Metrics = jc.Metrics
 		e.Cfg.PredictCache = jc.Cache
+		e.Cfg.Inject = jc.Inject
 		counts, err := e.PredictionCounts()
 		if err != nil {
 			return nil, err

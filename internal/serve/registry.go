@@ -24,6 +24,7 @@ import (
 
 	"chop/internal/bad"
 	"chop/internal/obs"
+	"chop/internal/resilience"
 )
 
 // State is a run's lifecycle position.
@@ -55,6 +56,13 @@ type JobContext struct {
 	Metrics *obs.Metrics
 	Log     *slog.Logger
 	Cache   *bad.PredictCache
+	// Checkpoint is the run's search-checkpoint path (empty: none). Jobs
+	// that search wire it into core.Config; a matching snapshot left by an
+	// interrupted earlier run is resumed automatically.
+	Checkpoint string
+	// Inject is the server-wide fault-injection harness (nil in
+	// production). Jobs pass it down so injected faults reach the pipeline.
+	Inject *resilience.Injector
 }
 
 // JobFunc executes one run kind. The context is cancelled on run
@@ -86,6 +94,9 @@ type Run struct {
 	errMsg    string
 	cancelled bool // cancel requested while queued
 	cancel    context.CancelFunc
+
+	timeout    time.Duration // wall-clock deadline (0: registry default)
+	checkpoint string        // search checkpoint path (empty: none)
 
 	ring *obs.RingSink
 }
@@ -154,6 +165,12 @@ var (
 	ErrUnknownKind = errors.New("unknown run kind")
 )
 
+// ErrJobTimeout is the cancellation cause of a run that exhausted its
+// wall-clock deadline. It distinguishes an expired deadline (the run is
+// marked failed, with this reason) from an operator or shutdown
+// cancellation (marked canceled).
+var ErrJobTimeout = errors.New("job deadline exceeded")
+
 // RegistryOptions parameterizes NewRegistry. Zero values select defaults.
 type RegistryOptions struct {
 	// MaxConcurrent bounds the worker pool (default: runtime.NumCPU()).
@@ -174,6 +191,12 @@ type RegistryOptions struct {
 	// every run: positive is a capacity in entries, 0 (the default)
 	// selects the default capacity, negative disables caching.
 	PredictCache int
+	// DefaultJobTimeout bounds every run's wall clock unless the
+	// submission carries its own timeout. 0 (the default) means unbounded.
+	DefaultJobTimeout time.Duration
+	// Inject is the fault-injection harness threaded through every job
+	// (nil in production; chaos tests and the CLI's -inject flag set it).
+	Inject *resilience.Injector
 }
 
 // Registry supervises runs: a bounded queue feeding a fixed worker pool,
@@ -184,18 +207,20 @@ type Registry struct {
 	runs  map[string]*Run
 	order []string
 
-	queue    chan *Run
-	nextID   atomic.Int64
-	jobs     map[string]Job
-	metrics  *obs.Metrics
-	log      *slog.Logger
-	cache    *bad.PredictCache
-	ringCap  int
-	workers  int
-	baseCtx  context.Context
-	stopAll  context.CancelFunc
-	wg       sync.WaitGroup
-	draining atomic.Bool
+	queue      chan *Run
+	nextID     atomic.Int64
+	jobs       map[string]Job
+	metrics    *obs.Metrics
+	log        *slog.Logger
+	cache      *bad.PredictCache
+	ringCap    int
+	workers    int
+	jobTimeout time.Duration
+	inject     *resilience.Injector
+	baseCtx    context.Context
+	stopAll    context.CancelFunc
+	wg         sync.WaitGroup
+	draining   atomic.Bool
 }
 
 // NewRegistry builds the registry and starts its worker pool.
@@ -224,16 +249,18 @@ func NewRegistry(opts RegistryOptions) *Registry {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Registry{
-		runs:    make(map[string]*Run),
-		queue:   make(chan *Run, opts.QueueDepth),
-		jobs:    opts.Jobs,
-		metrics: opts.Metrics,
-		log:     opts.Log,
-		cache:   cache,
-		ringCap: opts.RingCapacity,
-		workers: opts.MaxConcurrent,
-		baseCtx: ctx,
-		stopAll: cancel,
+		runs:       make(map[string]*Run),
+		queue:      make(chan *Run, opts.QueueDepth),
+		jobs:       opts.Jobs,
+		metrics:    opts.Metrics,
+		log:        opts.Log,
+		cache:      cache,
+		ringCap:    opts.RingCapacity,
+		workers:    opts.MaxConcurrent,
+		jobTimeout: opts.DefaultJobTimeout,
+		inject:     opts.Inject,
+		baseCtx:    ctx,
+		stopAll:    cancel,
 	}
 	for i := 0; i < r.workers; i++ {
 		r.wg.Add(1)
@@ -251,9 +278,25 @@ func (r *Registry) MaxConcurrent() int { return r.workers }
 // QueueLen returns the current backlog length.
 func (r *Registry) QueueLen() int { return len(r.queue) }
 
+// SubmitOptions carries per-run execution policy alongside the spec.
+type SubmitOptions struct {
+	// Timeout bounds the run's wall clock once it starts executing. 0
+	// falls back to the registry's DefaultJobTimeout; negative means
+	// explicitly unbounded even when a default exists.
+	Timeout time.Duration
+	// Checkpoint is a search-checkpoint path handed to the job; a
+	// matching snapshot from an interrupted earlier run is resumed.
+	Checkpoint string
+}
+
 // Submit validates and enqueues a run, returning it in StateQueued. It
 // never blocks: a full queue or a draining registry rejects immediately.
 func (r *Registry) Submit(kind string, spec json.RawMessage) (*Run, error) {
+	return r.SubmitWith(kind, spec, SubmitOptions{})
+}
+
+// SubmitWith is Submit with per-run execution policy.
+func (r *Registry) SubmitWith(kind string, spec json.RawMessage, opts SubmitOptions) (*Run, error) {
 	job, ok := r.jobs[kind]
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrUnknownKind, kind)
@@ -267,12 +310,21 @@ func (r *Registry) Submit(kind string, spec json.RawMessage) (*Run, error) {
 		r.metrics.Inc("serve.runs.rejected")
 		return nil, ErrDraining
 	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = r.jobTimeout
+	}
+	if timeout < 0 {
+		timeout = 0
+	}
 	run := &Run{
-		kind:      kind,
-		spec:      spec,
-		state:     StateQueued,
-		submitted: time.Now(),
-		ring:      obs.NewRingSink(r.ringCap),
+		kind:       kind,
+		spec:       spec,
+		state:      StateQueued,
+		submitted:  time.Now(),
+		timeout:    timeout,
+		checkpoint: opts.Checkpoint,
+		ring:       obs.NewRingSink(r.ringCap),
 	}
 	r.mu.Lock()
 	run.id = fmt.Sprintf("r-%06d", r.nextID.Add(1))
@@ -376,7 +428,14 @@ func (r *Registry) execute(run *Run) {
 		r.log.Info("run canceled before start", "run", run.id)
 		return
 	}
+	// The run's context layers the wall-clock deadline (when one applies)
+	// over the registry-wide cancellation; the deadline carries
+	// ErrJobTimeout as its cause so the outcome classification below can
+	// tell "too slow" from "told to stop".
 	ctx, cancel := context.WithCancel(r.baseCtx)
+	if run.timeout > 0 {
+		ctx, cancel = context.WithTimeoutCause(r.baseCtx, run.timeout, ErrJobTimeout)
+	}
 	defer cancel()
 	run.cancel = cancel
 	run.state = StateRunning
@@ -388,16 +447,33 @@ func (r *Registry) execute(run *Run) {
 	r.metrics.AddGauge("serve.runs_in_flight", 1)
 
 	perRun := obs.NewMetrics()
-	result, err := r.jobs[run.kind].Run(ctx, run.spec, JobContext{
-		Tracer:  obs.New(run.ring),
-		Metrics: perRun,
-		Log:     log,
-		Cache:   r.cache,
+	// The job body runs under the panic guard: a panicking pipeline (or an
+	// injected "serve.job" panic) fails this run with a structured error
+	// and a captured stack instead of taking down the server, and the
+	// worker slot is freed as if the run had failed normally.
+	var result any
+	err := resilience.Guard("serve.job", func() error {
+		if ierr := r.inject.FireCtx(ctx, "serve.job"); ierr != nil {
+			return ierr
+		}
+		var jerr error
+		result, jerr = r.jobs[run.kind].Run(ctx, run.spec, JobContext{
+			Tracer:     obs.New(run.ring),
+			Metrics:    perRun,
+			Log:        log,
+			Cache:      r.cache,
+			Checkpoint: run.checkpoint,
+			Inject:     r.inject,
+		})
+		return jerr
 	})
 
 	run.ring.Close()
 	r.metrics.Merge(perRun)
 	r.metrics.AddGauge("serve.runs_in_flight", -1)
+
+	timedOut := errors.Is(context.Cause(ctx), ErrJobTimeout)
+	pe, panicked := resilience.IsPanic(err)
 
 	run.mu.Lock()
 	run.finished = time.Now()
@@ -406,6 +482,11 @@ func (r *Registry) execute(run *Run) {
 	case err == nil:
 		run.state = StateDone
 		run.result = result
+	case timedOut:
+		// The deadline, not a cancel request, killed the context: the run
+		// failed its contract.
+		run.state = StateFailed
+		run.errMsg = fmt.Sprintf("%v (after %v)", ErrJobTimeout, run.timeout)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		run.state = StateCanceled
 		run.errMsg = err.Error()
@@ -415,6 +496,14 @@ func (r *Registry) execute(run *Run) {
 	}
 	state := run.state
 	run.mu.Unlock()
+
+	if timedOut {
+		r.metrics.Inc("serve.runs.timeout")
+	}
+	if panicked {
+		r.metrics.Inc("resilience.panic_recovered")
+		log.Error("run panicked", "site", pe.Site, "value", fmt.Sprint(pe.Value))
+	}
 
 	r.metrics.Inc("serve.runs." + string(state))
 	r.metrics.Observe("serve.run_duration_us", float64(dur.Nanoseconds())/1e3)

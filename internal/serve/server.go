@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"chop/internal/obs"
+	"chop/internal/resilience"
 )
 
 // Options parameterizes New. Zero values select sensible defaults.
@@ -40,6 +41,11 @@ type Options struct {
 	// every run (positive: capacity in entries, 0: default capacity,
 	// negative: disabled). Content keying makes cross-run sharing safe.
 	PredictCache int
+	// DefaultJobTimeout bounds every run's wall clock unless a submission
+	// carries its own timeoutSec (0: unbounded).
+	DefaultJobTimeout time.Duration
+	// Inject enables fault injection on every run (nil in production).
+	Inject *resilience.Injector
 }
 
 // Server is the CHOP service plane: run supervision plus the HTTP
@@ -73,13 +79,15 @@ func New(opts Options) *Server {
 	obs.RecordBuildInfo(opts.Metrics)
 	s := &Server{opts: opts, log: opts.Log, metrics: opts.Metrics}
 	s.reg = NewRegistry(RegistryOptions{
-		MaxConcurrent: opts.MaxConcurrent,
-		QueueDepth:    opts.QueueDepth,
-		RingCapacity:  opts.RingCapacity,
-		Jobs:          opts.Jobs,
-		Metrics:       opts.Metrics,
-		Log:           opts.Log,
-		PredictCache:  opts.PredictCache,
+		MaxConcurrent:     opts.MaxConcurrent,
+		QueueDepth:        opts.QueueDepth,
+		RingCapacity:      opts.RingCapacity,
+		Jobs:              opts.Jobs,
+		Metrics:           opts.Metrics,
+		Log:               opts.Log,
+		PredictCache:      opts.PredictCache,
+		DefaultJobTimeout: opts.DefaultJobTimeout,
+		Inject:            opts.Inject,
 	})
 	s.ready.Store(true)
 	s.healthy.Store(true)
