@@ -446,8 +446,9 @@ type (
 	// RetryPolicy shapes Retry: attempts, capped exponential backoff,
 	// deterministic jitter.
 	RetryPolicy = resilience.RetryPolicy
-	// SubmitOptions carries per-run policy (deadline, checkpoint path)
-	// into ServeRegistry.SubmitWith.
+	// SubmitOptions carries per-run policy (deadline, checkpoint name —
+	// resolved inside the registry's CheckpointDir) into
+	// ServeRegistry.SubmitWith.
 	SubmitOptions = serve.SubmitOptions
 )
 

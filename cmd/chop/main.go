@@ -116,7 +116,7 @@ func usage() {
                        -compare old.json new.json gates regressions)
   serve                start the HTTP service plane (-addr, -max-concurrent,
                        -queue, -ring, -grace, -predict-cache, -job-timeout,
-                       -inject, -log-level, -log-json); submit
+                       -checkpoint-dir, -inject, -log-level, -log-json); submit
                        runs on POST /api/v1/runs, stream traces on
                        /api/v1/runs/{id}/events, scrape /metrics
   version              print the binary's build identity (go version, revision)

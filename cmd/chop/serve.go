@@ -58,6 +58,7 @@ func serveCmd(args []string) error {
 	grace := fs.Duration("grace", 0, "graceful-shutdown grace period (0 = default 10s)")
 	predictCache := fs.Int("predict-cache", 0, "server-wide BAD prediction cache entries (0 = default capacity, negative = disabled)")
 	jobTimeout := fs.Duration("job-timeout", 0, "default per-run wall-clock deadline; runs exceeding it are marked failed (0 = unbounded, overridable per submission via timeoutSec)")
+	checkpointDir := fs.String("checkpoint-dir", "", "directory for search checkpoints named by submissions (empty = checkpointing disabled)")
 	injectSpec := fs.String("inject", "", "fault-injection spec for chaos testing (default: $"+resilience.EnvFaultInject+")")
 	lf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -81,6 +82,11 @@ func serveCmd(args []string) error {
 	if inject != nil {
 		log.Warn("fault injection ACTIVE", "spec", inject.String())
 	}
+	if *checkpointDir != "" {
+		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
+			return fmt.Errorf("-checkpoint-dir: %w", err)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -97,6 +103,7 @@ func serveCmd(args []string) error {
 		Log:               log,
 		PredictCache:      *predictCache,
 		DefaultJobTimeout: *jobTimeout,
+		CheckpointDir:     *checkpointDir,
 		Inject:            inject,
 	})
 	return s.ListenAndServe(ctx)

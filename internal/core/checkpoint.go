@@ -39,9 +39,13 @@ type searchCheckpoint struct {
 
 // searchSignature fingerprints everything that determines a shard's
 // content: the partitioning structure, the per-partition design lists, the
-// feasibility knobs and the shard geometry. The worker count is deliberately
-// absent — it only affects scheduling — but the shard count is not, because
-// enumeration shard boundaries derive from it.
+// feasibility knobs and the shard geometry. The worker count is not hashed
+// directly, but the shard count is, and for the enumeration heuristic the
+// shard count derives from the worker count (workers × shardsPerWorker) —
+// so an enumeration checkpoint only resumes at the worker count that wrote
+// it; a different count is a signature mismatch and starts fresh. Iterative
+// shards are the candidate intervals, independent of workers, so iterative
+// checkpoints resume at any worker count.
 func searchSignature(p *Partitioning, cfg Config, h Heuristic, lists [][]bad.Design, shards, total int) (string, error) {
 	payload := struct {
 		Heuristic   string
@@ -83,7 +87,8 @@ type checkpointer struct {
 	cfg     Config
 	sig     string
 	every   int
-	pending int // completions since the last save
+	pending int  // completions since the last save
+	saving  bool // a goroutine is writing a snapshot (outside the lock)
 	done    map[int]*SearchResult
 	sp      *obs.Span
 }
@@ -143,19 +148,18 @@ func newCheckpointer(p *Partitioning, cfg Config, h Heuristic, lists [][]bad.Des
 }
 
 // markDone records a completed shard and snapshots when the cadence is due.
-// Called concurrently by workers; the file write happens under the mutex so
-// snapshots are internally consistent.
+// Called concurrently by workers; the bookkeeping happens under the mutex
+// but the file write (which retries with backoff) does not, so a slow or
+// failing checkpoint disk never serializes the pool at shard completion.
 func (c *checkpointer) markDone(si int, res *SearchResult) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.done[si] = res
 	c.pending++
-	if c.pending >= c.every {
-		c.saveLocked()
-	}
+	c.mu.Unlock()
+	c.trySave(false)
 }
 
 // flush forces a snapshot of whatever has completed — called on the way out
@@ -166,9 +170,35 @@ func (c *checkpointer) flush() {
 		return
 	}
 	c.mu.Lock()
+	force := c.pending > 0 || len(c.done) > 0
+	c.mu.Unlock()
+	c.trySave(force)
+}
+
+// trySave writes snapshots while one is due (pending has reached the
+// cadence, or force), electing the calling goroutine as the single writer:
+// concurrent callers see the saving flag and return immediately, their
+// completions folded into the writer's next loop iteration. The done-map is
+// copied under the lock so the write itself — resilience.Retry with backoff
+// sleeps — runs unlocked and never stalls workers reporting new shards.
+func (c *checkpointer) trySave(force bool) {
+	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.pending > 0 || len(c.done) > 0 {
-		c.saveLocked()
+	if c.saving {
+		return // the in-flight writer will pick the new pending work up
+	}
+	for force || c.pending >= c.every {
+		force = false
+		c.pending = 0
+		snap := searchCheckpoint{Signature: c.sig, Done: make(map[int]*SearchResult, len(c.done))}
+		for si, res := range c.done {
+			snap.Done[si] = res
+		}
+		c.saving = true
+		c.mu.Unlock()
+		c.save(snap)
+		c.mu.Lock()
+		c.saving = false
 	}
 }
 
@@ -185,13 +215,12 @@ func (c *checkpointer) finish() {
 	}
 }
 
-// saveLocked writes the snapshot with a short retry, absorbing transient
-// I/O failures (and injected "checkpoint.save" faults). A save that still
+// save writes one snapshot with a short retry, absorbing transient I/O
+// failures (and injected "checkpoint.save" faults). A save that still
 // fails after the retries is recorded but does not kill the search —
-// checkpoint durability is best-effort by design.
-func (c *checkpointer) saveLocked() {
-	c.pending = 0
-	snap := searchCheckpoint{Signature: c.sig, Done: c.done}
+// checkpoint durability is best-effort by design. Runs without the mutex;
+// trySave guarantees a single writer at a time.
+func (c *checkpointer) save(snap searchCheckpoint) {
 	err := resilience.Retry(c.cfg.Ctx, resilience.RetryPolicy{
 		Attempts: 3, BaseDelay: 5 * time.Millisecond, Seed: 1,
 	}, func() error {

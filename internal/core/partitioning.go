@@ -236,11 +236,13 @@ type Config struct {
 	CheckpointEvery int
 	// Resume loads CheckpointPath before searching and skips the shards
 	// it records as complete. A missing file, a different checkpoint
-	// version, or a signature mismatch (the problem, constraints or
-	// worker count changed) silently falls back to a fresh search — a
+	// version, or a signature mismatch (the problem, constraints or shard
+	// geometry changed) silently falls back to a fresh search — a
 	// checkpoint can only ever be replayed against the exact search that
 	// wrote it, so resumed results are byte-identical to uninterrupted
-	// ones.
+	// ones. Enumeration shard geometry derives from Workers, so an
+	// enumeration checkpoint only resumes at the worker count that wrote
+	// it; iterative shards are worker-independent and resume at any count.
 	Resume bool
 	// Inject is the fault-injection hook (chaos testing): when non-nil,
 	// the instrumented sites — bad.predict, core.trial, checkpoint.save —

@@ -87,6 +87,63 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 	}
 }
 
+// TestCheckpointWorkerCountPortability pins the documented resume-vs-worker
+// semantics. Enumeration shard geometry derives from the worker count, so a
+// checkpoint written at one count does not resume at another — the changed
+// shard count is a signature mismatch and the search starts fresh (still
+// correct). Iterative shards are the candidate intervals, independent of
+// workers, so an iterative checkpoint resumes at any worker count with a
+// byte-identical result.
+func TestCheckpointWorkerCountPortability(t *testing.T) {
+	p := arPartitioning(t, 2, 1)
+	base := exp1Config()
+	preds, err := PredictPartitions(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		h       Heuristic
+		resumes bool
+	}{
+		{Enumeration, false},
+		{Iterative, true},
+	} {
+		t.Run(tc.h.String(), func(t *testing.T) {
+			cfg := base
+			cfg.Workers = 4
+			want, err := Search(p, cfg, preds, tc.h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Interrupt a 2-worker run at the last trial, then resume with 4.
+			cfg.Workers = 2
+			cfg.CheckpointPath = filepath.Join(t.TempDir(), "search.ckpt")
+			cfg.Inject = resilience.MustParse(fmt.Sprintf("core.trial=error:@%d", want.Trials))
+			runToError(t, p, cfg, preds, tc.h)
+
+			cfg.Workers = 4
+			cfg.Inject = nil
+			cfg.Resume = true
+			cfg.Metrics = obs.NewMetrics()
+			got, err := Search(p, cfg, preds, tc.h)
+			if err != nil {
+				t.Fatalf("resumed search: %v", err)
+			}
+			resumed := cfg.Metrics.Counter("resilience.checkpoint_resumed_shards")
+			mismatch := cfg.Metrics.Counter("resilience.checkpoint_mismatch")
+			if tc.resumes && (resumed == 0 || mismatch != 0) {
+				t.Errorf("iterative checkpoint did not survive the worker-count change (resumed=%d mismatch=%d)", resumed, mismatch)
+			}
+			if !tc.resumes && (resumed != 0 || mismatch == 0) {
+				t.Errorf("enumeration checkpoint crossed worker counts (resumed=%d mismatch=%d)", resumed, mismatch)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("result after worker-count change diverges from reference")
+			}
+		})
+	}
+}
+
 // TestCheckpointSignatureMismatchStartsFresh: a checkpoint taken under one
 // configuration must not leak into a search with different knobs — the
 // mismatch is detected and the run starts from scratch, still correct.

@@ -12,7 +12,8 @@ import (
 type apiError struct {
 	Error string `json:"error"`
 	// Reason is a short machine-readable rejection class ("queue-full",
-	// "draining", "unknown-kind", "bad-spec", "not-found").
+	// "draining", "unknown-kind", "bad-spec", "bad-checkpoint",
+	// "not-found").
 	Reason string `json:"reason,omitempty"`
 }
 
@@ -39,8 +40,11 @@ type submitRequest struct {
 	// default; negative: explicitly unbounded). A run that exhausts its
 	// deadline is marked failed with a timeout reason.
 	TimeoutSec float64 `json:"timeoutSec,omitempty"`
-	// Checkpoint is a server-side search-checkpoint path; resubmitting
-	// with the same path resumes an interrupted search.
+	// Checkpoint names a search checkpoint: a plain relative path resolved
+	// inside the server's configured checkpoint directory (-checkpoint-dir).
+	// Resubmitting with the same name resumes an interrupted search.
+	// Absolute or traversing names — or any name when the server has no
+	// checkpoint directory — are rejected with 400 "bad-checkpoint".
 	Checkpoint string `json:"checkpoint,omitempty"`
 }
 
@@ -71,6 +75,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, "draining", err)
 		case errors.Is(err, ErrUnknownKind):
 			writeError(w, http.StatusBadRequest, "unknown-kind", err)
+		case errors.Is(err, ErrBadCheckpoint):
+			writeError(w, http.StatusBadRequest, "bad-checkpoint", err)
 		default:
 			writeError(w, http.StatusBadRequest, "bad-spec", err)
 		}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -163,6 +164,10 @@ var (
 	ErrDraining = errors.New("server draining")
 	// ErrUnknownKind rejects an unsupported run kind (400).
 	ErrUnknownKind = errors.New("unknown run kind")
+	// ErrBadCheckpoint rejects a submission whose checkpoint name cannot be
+	// resolved: checkpointing is disabled server-side, or the name is not a
+	// plain relative path inside the configured checkpoint directory (400).
+	ErrBadCheckpoint = errors.New("invalid checkpoint")
 )
 
 // ErrJobTimeout is the cancellation cause of a run that exhausted its
@@ -194,6 +199,13 @@ type RegistryOptions struct {
 	// DefaultJobTimeout bounds every run's wall clock unless the
 	// submission carries its own timeout. 0 (the default) means unbounded.
 	DefaultJobTimeout time.Duration
+	// CheckpointDir is the directory search checkpoints live in. Submissions
+	// name their checkpoint with a plain relative path that is resolved
+	// inside this directory — never an arbitrary filesystem path, because
+	// the server writes (and on success deletes) the resolved file with its
+	// own privileges. Empty (the default) rejects any submission that asks
+	// for a checkpoint.
+	CheckpointDir string
 	// Inject is the fault-injection harness threaded through every job
 	// (nil in production; chaos tests and the CLI's -inject flag set it).
 	Inject *resilience.Injector
@@ -216,6 +228,7 @@ type Registry struct {
 	ringCap    int
 	workers    int
 	jobTimeout time.Duration
+	ckptDir    string
 	inject     *resilience.Injector
 	baseCtx    context.Context
 	stopAll    context.CancelFunc
@@ -258,6 +271,7 @@ func NewRegistry(opts RegistryOptions) *Registry {
 		ringCap:    opts.RingCapacity,
 		workers:    opts.MaxConcurrent,
 		jobTimeout: opts.DefaultJobTimeout,
+		ckptDir:    opts.CheckpointDir,
 		inject:     opts.Inject,
 		baseCtx:    ctx,
 		stopAll:    cancel,
@@ -284,9 +298,31 @@ type SubmitOptions struct {
 	// falls back to the registry's DefaultJobTimeout; negative means
 	// explicitly unbounded even when a default exists.
 	Timeout time.Duration
-	// Checkpoint is a search-checkpoint path handed to the job; a
-	// matching snapshot from an interrupted earlier run is resumed.
+	// Checkpoint names the run's search checkpoint: a plain relative path
+	// resolved inside the registry's CheckpointDir (never an arbitrary
+	// filesystem path). Resubmitting with the same name resumes a matching
+	// snapshot from an interrupted earlier run. Non-empty names are rejected
+	// with ErrBadCheckpoint when no CheckpointDir is configured or the name
+	// escapes it.
 	Checkpoint string
+}
+
+// resolveCheckpoint maps a client-supplied checkpoint name onto a file
+// inside the configured checkpoint directory. The name must be local in
+// the filepath.IsLocal sense — relative, within the directory, no ".."
+// traversal — because the resolved path is overwritten atomically on every
+// snapshot and removed on success with the server's privileges.
+func (r *Registry) resolveCheckpoint(name string) (string, error) {
+	if name == "" {
+		return "", nil
+	}
+	if r.ckptDir == "" {
+		return "", fmt.Errorf("%w: server has no checkpoint directory", ErrBadCheckpoint)
+	}
+	if !filepath.IsLocal(name) {
+		return "", fmt.Errorf("%w: name %q escapes the checkpoint directory", ErrBadCheckpoint, name)
+	}
+	return filepath.Join(r.ckptDir, name), nil
 }
 
 // Submit validates and enqueues a run, returning it in StateQueued. It
@@ -306,6 +342,10 @@ func (r *Registry) SubmitWith(kind string, spec json.RawMessage, opts SubmitOpti
 			return nil, err
 		}
 	}
+	checkpoint, err := r.resolveCheckpoint(opts.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
 	if r.draining.Load() {
 		r.metrics.Inc("serve.runs.rejected")
 		return nil, ErrDraining
@@ -323,7 +363,7 @@ func (r *Registry) SubmitWith(kind string, spec json.RawMessage, opts SubmitOpti
 		state:      StateQueued,
 		submitted:  time.Now(),
 		timeout:    timeout,
-		checkpoint: opts.Checkpoint,
+		checkpoint: checkpoint,
 		ring:       obs.NewRingSink(r.ringCap),
 	}
 	r.mu.Lock()
@@ -432,9 +472,12 @@ func (r *Registry) execute(run *Run) {
 	// over the registry-wide cancellation; the deadline carries
 	// ErrJobTimeout as its cause so the outcome classification below can
 	// tell "too slow" from "told to stop".
-	ctx, cancel := context.WithCancel(r.baseCtx)
+	var ctx context.Context
+	var cancel context.CancelFunc
 	if run.timeout > 0 {
 		ctx, cancel = context.WithTimeoutCause(r.baseCtx, run.timeout, ErrJobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(r.baseCtx)
 	}
 	defer cancel()
 	run.cancel = cancel
@@ -472,7 +515,10 @@ func (r *Registry) execute(run *Run) {
 	r.metrics.Merge(perRun)
 	r.metrics.AddGauge("serve.runs_in_flight", -1)
 
-	timedOut := errors.Is(context.Cause(ctx), ErrJobTimeout)
+	// A run only counts as timed out when the expired deadline actually
+	// failed it — a job that completes successfully just as the deadline
+	// fires stays Done and must not skew the timeout metric.
+	timedOut := err != nil && errors.Is(context.Cause(ctx), ErrJobTimeout)
 	pe, panicked := resilience.IsPanic(err)
 
 	run.mu.Lock()

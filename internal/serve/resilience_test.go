@@ -3,8 +3,10 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -191,6 +193,57 @@ func TestInjectedStallKilledByDeadline(t *testing.T) {
 	waitState(t, run, StateFailed)
 	if n := m.Counter("serve.runs.timeout"); n != 1 {
 		t.Errorf("serve.runs.timeout = %d", n)
+	}
+}
+
+// TestCheckpointNameResolution: a submission's checkpoint is a name inside
+// the server's checkpoint directory, never a raw filesystem path — absolute
+// and traversing names are rejected, as is any name when the registry has
+// no CheckpointDir, so clients cannot aim the server's atomic
+// overwrite-and-delete cycle at arbitrary files.
+func TestCheckpointNameResolution(t *testing.T) {
+	leakCheck(t)
+	dir := t.TempDir()
+	var (
+		mu    sync.Mutex
+		paths []string
+	)
+	jobs := map[string]Job{
+		"record": {Run: func(_ context.Context, _ json.RawMessage, jc JobContext) (any, error) {
+			mu.Lock()
+			paths = append(paths, jc.Checkpoint)
+			mu.Unlock()
+			return "ok", nil
+		}},
+	}
+	r := NewRegistry(RegistryOptions{MaxConcurrent: 1, Jobs: jobs, CheckpointDir: dir})
+	defer r.Shutdown(context.Background())
+
+	for _, name := range []string{"/etc/passwd", "../escape.ckpt", "a/../../escape.ckpt", ".."} {
+		if _, err := r.SubmitWith("record", nil, SubmitOptions{Checkpoint: name}); !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("checkpoint %q: err = %v, want ErrBadCheckpoint", name, err)
+		}
+	}
+
+	run, err := r.SubmitWith("record", nil, SubmitOptions{Checkpoint: "runs/search.ckpt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, run, StateDone)
+	mu.Lock()
+	got := append([]string(nil), paths...)
+	mu.Unlock()
+	want := filepath.Join(dir, "runs", "search.ckpt")
+	if len(got) != 1 || got[0] != want {
+		t.Errorf("resolved checkpoint = %v, want [%s]", got, want)
+	}
+
+	// No checkpoint directory configured: naming a checkpoint is an error,
+	// not a silent write wherever the client pointed.
+	bare := NewRegistry(RegistryOptions{MaxConcurrent: 1, Jobs: jobs})
+	defer bare.Shutdown(context.Background())
+	if _, err := bare.SubmitWith("record", nil, SubmitOptions{Checkpoint: "search.ckpt"}); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("no CheckpointDir: err = %v, want ErrBadCheckpoint", err)
 	}
 }
 

@@ -44,6 +44,11 @@ type Options struct {
 	// DefaultJobTimeout bounds every run's wall clock unless a submission
 	// carries its own timeoutSec (0: unbounded).
 	DefaultJobTimeout time.Duration
+	// CheckpointDir is the directory submissions' checkpoint names resolve
+	// into. Empty (the default) disables server-side checkpointing:
+	// submissions carrying a checkpoint are rejected. Clients never supply
+	// filesystem paths — only plain relative names inside this directory.
+	CheckpointDir string
 	// Inject enables fault injection on every run (nil in production).
 	Inject *resilience.Injector
 }
@@ -87,6 +92,7 @@ func New(opts Options) *Server {
 		Log:               opts.Log,
 		PredictCache:      opts.PredictCache,
 		DefaultJobTimeout: opts.DefaultJobTimeout,
+		CheckpointDir:     opts.CheckpointDir,
 		Inject:            opts.Inject,
 	})
 	s.ready.Store(true)
