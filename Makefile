@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench gobench fuzz chaos cover serve ci
+.PHONY: all build vet lint test race bench bench-stats-gate gobench fuzz chaos cover serve ci
 
 all: build
 
@@ -30,6 +30,14 @@ race:
 bench:
 	$(GO) run ./cmd/chop bench -short -json
 
+# bench-stats-gate bounds the telemetry plane's overhead: the search/stats
+# workloads must stay within STATS_GATE percent of their search/stress
+# partners. Runs at the full (non-short) budget — a single short iteration
+# is too noisy to gate a few-percent delta on.
+STATS_GATE ?= 5
+bench-stats-gate:
+	$(GO) run ./cmd/chop bench -run search/st -stats-gate $(STATS_GATE)
+
 # gobench runs the in-tree go test benchmarks (overhead gates etc.).
 gobench:
 	$(GO) test -run XXX -bench . -benchmem ./...
@@ -44,8 +52,10 @@ fuzz:
 # with ~10% injected job faults under random submissions and cancels,
 # asserting the registry drains clean (no stuck runs, no leaked goroutines).
 CHAOS_SECS ?= 30
+CHAOS_STATS_OUT ?= chaos-stats.jsonl
 chaos:
 	CHOP_CHAOS_SMOKE=1 CHOP_CHAOS_SMOKE_SECS=$(CHAOS_SECS) \
+		CHOP_CHAOS_STATS_OUT=$(abspath $(CHAOS_STATS_OUT)) \
 		$(GO) test ./internal/serve -run TestChaosSmoke -count=1 -v
 
 # cover writes coverage.out plus a browsable HTML report.

@@ -325,6 +325,28 @@ type (
 	// BuildInfo is the binary's build identity (go version, VCS revision)
 	// as read from the runtime's embedded build metadata.
 	BuildInfo = obs.BuildInfo
+	// RunStats is the lock-cheap per-shard search progress tracker;
+	// attach one via Config.Stats and read it live with Snapshot while
+	// the search runs.
+	RunStats = obs.RunStats
+	// RunStatsSnapshot is one consistent point-in-time fold of a
+	// RunStats: aggregate progress, rates, ETA, the per-shard table,
+	// cache traffic, checkpoint lag and the slowest-trial exemplars.
+	RunStatsSnapshot = obs.RunStatsSnapshot
+	// ShardSnapshot is one shard's row in a RunStatsSnapshot.
+	ShardSnapshot = obs.ShardSnapshot
+	// SlowTrial is one retained slowest-trial exemplar (duration, shard,
+	// feasibility, rejection reason).
+	SlowTrial = obs.Exemplar
+	// StatsSnapshotter samples a Metrics registry (and optionally a
+	// RunStats) on a fixed cadence into a bounded in-memory ring and,
+	// when configured with a writer, a JSONL time series.
+	StatsSnapshotter = obs.Snapshotter
+	// StatsSnapshotterOptions configures a StatsSnapshotter.
+	StatsSnapshotterOptions = obs.SnapshotterOptions
+	// StatsRecord is one sampled point of the telemetry time series:
+	// counter deltas over the interval, gauges, and the run fold.
+	StatsRecord = obs.StatsRecord
 )
 
 var (
@@ -363,6 +385,16 @@ var (
 	// RecordBuildInfo exposes the build identity on a Metrics registry as
 	// the chop_build_info{go_version,vcs_revision} gauge.
 	RecordBuildInfo = obs.RecordBuildInfo
+	// NewRunTracer wraps a sink into a Tracer whose every event is
+	// stamped with a run tag, so traces from several runs can share one
+	// stream and still replay separately (nil sink yields a nil Tracer).
+	NewRunTracer = obs.NewRunTracer
+	// NewRunStats allocates a per-shard search progress tracker; attach
+	// it via Config.Stats.
+	NewRunStats = obs.NewRunStats
+	// NewStatsSnapshotter builds a telemetry sampler; call Run to sample
+	// on an interval and Stop to take the final sample and flush.
+	NewStatsSnapshotter = obs.NewSnapshotter
 )
 
 // Service plane types (package serve): an embeddable HTTP server that runs

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"chop/internal/benchkit"
 )
@@ -25,6 +26,7 @@ func bench(args []string) error {
 	runFilter := fs.String("run", "", "only run workloads whose name contains this substring")
 	compareOld := fs.String("compare", "", "baseline BENCH json; compares against the positional new BENCH json instead of measuring")
 	tolerance := fs.Float64("tolerance", 10, "regression tolerance in percent for -compare")
+	statsGate := fs.Float64("stats-gate", 0, "fail if the search/stats workloads exceed their search/stress partners' ns/op by more than this percent (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +67,46 @@ func bench(args []string) error {
 		fmt.Fprintf(os.Stderr, "report written to %s (gate with: chop bench -compare %s <new.json>)\n",
 			path, path)
 	}
+	if *statsGate > 0 {
+		return gateStatsOverhead(rep, *statsGate)
+	}
+	return nil
+}
+
+// gateStatsOverhead enforces the telemetry-plane overhead budget inside one
+// report: each search/stats workload must stay within `pct` percent of its
+// search/stress partner at the same worker count. This is the acceptance
+// gate for live run stats — publication is one or two atomic adds per
+// trial, so the measured tax should sit in the noise.
+func gateStatsOverhead(rep *benchkit.Report, pct float64) error {
+	nsPerOp := make(map[string]float64, len(rep.Workloads))
+	for _, w := range rep.Workloads {
+		nsPerOp[w.Name] = w.NsPerOp
+	}
+	checked := 0
+	var failures []string
+	for _, workers := range []string{"w1", "w4"} {
+		stats, ok1 := nsPerOp["search/stats/"+workers]
+		stress, ok2 := nsPerOp["search/stress/"+workers]
+		if !ok1 || !ok2 || stress <= 0 {
+			continue
+		}
+		checked++
+		overhead := (stats/stress - 1) * 100
+		fmt.Printf("stats overhead %s: %+.1f%% (stats %.2f ms/op vs stress %.2f ms/op)\n",
+			workers, overhead, stats/1e6, stress/1e6)
+		if overhead > pct {
+			failures = append(failures, fmt.Sprintf("%s %+.1f%%", workers, overhead))
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("bench: -stats-gate needs the search/stats and search/stress workloads in the run (check -run filter)")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: telemetry overhead beyond %.0f%% budget: %s",
+			pct, strings.Join(failures, ", "))
+	}
+	fmt.Printf("telemetry overhead within %.0f%% budget across %d worker counts\n", pct, checked)
 	return nil
 }
 

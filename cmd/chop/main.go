@@ -13,14 +13,16 @@
 //	chop explain -f trace.jsonl  replay a -trace file into a readable report
 //	chop bench             run the performance harness, emit/compare BENCH JSON
 //	chop serve             start the HTTP service plane (runs, SSE traces, /metrics)
+//	chop top               live terminal dashboard over a serve instance or a -stats-out file
 //	chop version           print the binary's build identity
 //
 // The run-style commands (eval, synth, exp1, exp2, advise) share the
 // observability flags: -trace <file> records a JSONL trace, -metrics
 // prints the counter/histogram registry afterward, -prom <file> writes it
 // in Prometheus text format, -progress prints throttled live progress on
-// stderr, and -cpuprofile/-memprofile/-blockprofile collect runtime/pprof
-// profiles. They also share the execution knobs: -workers selects the
+// stderr, -stats-out <file> appends a JSONL telemetry time series (tail it
+// with 'chop top -f'), and -cpuprofile/-memprofile/-blockprofile collect
+// runtime/pprof profiles. They also share the execution knobs: -workers selects the
 // search parallelism (deterministic — any worker count produces the serial
 // result) and -predict-cache memoizes BAD predictions in a bounded LRU.
 package main
@@ -83,6 +85,8 @@ func main() {
 		err = accuracy()
 	case "serve":
 		err = serveCmd(os.Args[2:])
+	case "top":
+		err = top(os.Args[2:])
 	case "version":
 		err = version()
 	case "-h", "--help", "help":
@@ -109,6 +113,7 @@ func usage() {
   eval -f spec.json    evaluate a partitioning spec
   advise -f spec.json  interactive advisor session (commands on stdin)
   explain -f trace.jsonl  replay a trace into a per-stage time and rejection report
+                       (-stats prints the search-statistics report instead)
   compile -f prog.hls  compile a behavioral program (loops unrolled) and print its DFG
   synth -f spec.json   synthesize the fastest feasible design to RTL, verify it, emit Verilog
   accuracy             compare BAD predictions against bound netlists
@@ -119,6 +124,9 @@ func usage() {
                        -checkpoint-dir, -inject, -log-level, -log-json); submit
                        runs on POST /api/v1/runs, stream traces on
                        /api/v1/runs/{id}/events, scrape /metrics
+  top                  live terminal dashboard: poll a serve instance
+                       (-addr, optionally -run id) or tail a -stats-out file
+                       (-f stats.jsonl); -once renders a single frame
   version              print the binary's build identity (go version, revision)
 
 eval, synth, exp1, exp2 and advise also accept:
@@ -126,6 +134,10 @@ eval, synth, exp1, exp2 and advise also accept:
   -metrics             print the counter/histogram registry after the run
   -prom file           write the registry in Prometheus text format
   -progress            print throttled live progress lines to stderr
+  -stats-out file      append a JSONL stats sample (counter deltas, per-shard
+                       search progress) every -stats-interval seconds; watch
+                       live with 'chop top -f <file>'
+  -stats-interval s    sampling cadence of -stats-out (default 1s)
   -cpuprofile file     write a CPU profile (flamegraph with 'go tool pprof')
   -memprofile file     write a heap profile taken after the run
   -blockprofile file   write a goroutine-blocking profile
@@ -243,6 +255,9 @@ type obsFlags struct {
 	prom     *string
 	progress *bool
 
+	statsOut      *string
+	statsInterval *float64
+
 	cpuprofile   *string
 	memprofile   *string
 	blockprofile *string
@@ -259,19 +274,21 @@ type obsFlags struct {
 
 func addObsFlags(fs *flag.FlagSet) *obsFlags {
 	return &obsFlags{
-		fs:           fs,
-		trace:        fs.String("trace", "", "record a JSONL trace of the run to this file"),
-		metrics:      fs.Bool("metrics", false, "print the counter/histogram registry after the run"),
-		prom:         fs.String("prom", "", "write Prometheus text-format metrics to this file after the run"),
-		progress:     fs.Bool("progress", false, "print throttled live progress lines to stderr"),
-		cpuprofile:   fs.String("cpuprofile", "", "write a CPU profile to this file"),
-		memprofile:   fs.String("memprofile", "", "write a heap profile to this file"),
-		blockprofile: fs.String("blockprofile", "", "write a goroutine-blocking profile to this file"),
-		workers:      fs.Int("workers", 1, "search worker goroutines (1 = serial, 0 or negative = all cores); results are identical at any worker count"),
-		predictCache: fs.Int("predict-cache", 0, "memoize BAD predictions in an LRU cache of this many entries (0 disables, negative = default capacity)"),
-		checkpoint:   fs.String("checkpoint", "", "snapshot search progress to this file; removed on success"),
-		resume:       fs.Bool("resume", false, "resume from a matching -checkpoint snapshot (fresh start if absent or mismatched)"),
-		inject:       fs.String("inject", "", "fault-injection spec, e.g. 'seed=1,core.trial=error:@10' (default: $"+resilience.EnvFaultInject+")"),
+		fs:            fs,
+		trace:         fs.String("trace", "", "record a JSONL trace of the run to this file"),
+		metrics:       fs.Bool("metrics", false, "print the counter/histogram registry after the run"),
+		prom:          fs.String("prom", "", "write Prometheus text-format metrics to this file after the run"),
+		progress:      fs.Bool("progress", false, "print throttled live progress lines to stderr"),
+		statsOut:      fs.String("stats-out", "", "append a JSONL stats sample (counters, deltas, shard table) to this file every -stats-interval"),
+		statsInterval: fs.Float64("stats-interval", 1, "sampling cadence of -stats-out in seconds"),
+		cpuprofile:    fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		memprofile:    fs.String("memprofile", "", "write a heap profile to this file"),
+		blockprofile:  fs.String("blockprofile", "", "write a goroutine-blocking profile to this file"),
+		workers:       fs.Int("workers", 1, "search worker goroutines (1 = serial, 0 or negative = all cores); results are identical at any worker count"),
+		predictCache:  fs.Int("predict-cache", 0, "memoize BAD predictions in an LRU cache of this many entries (0 disables, negative = default capacity)"),
+		checkpoint:    fs.String("checkpoint", "", "snapshot search progress to this file; removed on success"),
+		resume:        fs.Bool("resume", false, "resume from a matching -checkpoint snapshot (fresh start if absent or mismatched)"),
+		inject:        fs.String("inject", "", "fault-injection spec, e.g. 'seed=1,core.trial=error:@10' (default: $"+resilience.EnvFaultInject+")"),
 	}
 }
 
@@ -351,9 +368,30 @@ func (o *obsFlags) attach(cfg *core.Config) (func() error, error) {
 	}
 	cfg.Trace = obs.New(obs.NewTeeSink(sinks...))
 	var m *obs.Metrics
-	if *o.metrics || *o.prom != "" {
+	if *o.metrics || *o.prom != "" || *o.statsOut != "" {
 		m = obs.NewMetrics()
 		cfg.Metrics = m
+	}
+	// The stats time series: a run-stats fold published by the search plus
+	// a periodic snapshotter appending one JSONL record per interval. The
+	// file is created eagerly like -prom, and the sampler starts now so the
+	// series covers prediction as well as search.
+	var statsFile *os.File
+	var snap *obs.Snapshotter
+	if *o.statsOut != "" {
+		var err error
+		statsFile, err = os.Create(*o.statsOut)
+		if err != nil {
+			if file != nil {
+				file.Close()
+			}
+			return nil, err
+		}
+		cfg.Stats = obs.NewRunStats(o.fs.Name())
+		snap = obs.NewSnapshotter(obs.SnapshotterOptions{
+			Metrics: m, Stats: cfg.Stats, Out: statsFile,
+		})
+		snap.Run(time.Duration(*o.statsInterval * float64(time.Second)))
 	}
 	// Create the -prom file now, not after the run: an unwritable path
 	// must fail before minutes of search, and everything opened so far
@@ -365,6 +403,10 @@ func (o *obsFlags) attach(cfg *core.Config) (func() error, error) {
 		if err != nil {
 			if file != nil {
 				file.Close()
+			}
+			if statsFile != nil {
+				snap.Stop()
+				statsFile.Close()
 			}
 			return nil, err
 		}
@@ -381,6 +423,10 @@ func (o *obsFlags) attach(cfg *core.Config) (func() error, error) {
 		if promFile != nil {
 			promFile.Close()
 		}
+		if statsFile != nil {
+			snap.Stop()
+			statsFile.Close()
+		}
 		return nil, err
 	}
 	return func() error {
@@ -392,6 +438,18 @@ func (o *obsFlags) attach(cfg *core.Config) (func() error, error) {
 		}
 		if prog != nil {
 			prog.Flush()
+		}
+		if snap != nil {
+			// Stop takes one final sample, so the series always ends with
+			// the run's terminal counters and shard table.
+			snap.Stop()
+			keep(snap.Err())
+			if err := statsFile.Close(); err != nil {
+				keep(fmt.Errorf("stats: %w", err))
+			} else {
+				fmt.Fprintf(os.Stderr, "stats written to %s (watch live with: chop top -f %s)\n",
+					*o.statsOut, *o.statsOut)
+			}
 		}
 		if *o.metrics {
 			fmt.Println("\nmetrics:")
@@ -562,6 +620,7 @@ func advise(args []string) error {
 func explain(args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
 	file := fs.String("f", "", "trace file (JSONL) recorded with -trace; '-' reads stdin")
+	stats := fs.Bool("stats", false, "print the search-statistics report (per-run table, trial timeline) instead of the stage breakdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -583,7 +642,11 @@ func explain(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(rep.Format())
+	if *stats {
+		fmt.Print(rep.FormatStats())
+	} else {
+		fmt.Print(rep.Format())
+	}
 	return nil
 }
 

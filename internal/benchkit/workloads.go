@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"chop/internal/advisor"
 	"chop/internal/bad"
@@ -62,6 +63,13 @@ func Workloads() []Workload {
 		// JSON snapshot per completed shard against thousands of trials).
 		Workload{Name: "search/ckpt/w1", Run: checkpointSearchRun(1)},
 		Workload{Name: "search/ckpt/w4", Run: checkpointSearchRun(4)},
+		// The same searches with the telemetry plane on (RunStats fold plus
+		// a fast-sampling Snapshotter): the stats/stress ratio at equal
+		// worker count is the telemetry tax, gated by `chop bench
+		// -stats-gate` in CI (expected well under 5% — the hot path is one
+		// or two atomic adds per trial).
+		Workload{Name: "search/stats/w1", Run: statsSearchRun(1)},
+		Workload{Name: "search/stats/w4", Run: statsSearchRun(4)},
 		Workload{Name: "advisor/cached", Run: advisorCachedRun()},
 	)
 	return ws
@@ -123,6 +131,27 @@ func stressSearchRun(workers int) func(*obs.Metrics) error {
 		cfg := stressProblem.cfg
 		cfg.Workers = workers
 		cfg.Metrics = m
+		_, err := core.Search(stressProblem.p, cfg, stressProblem.preds, core.Enumeration)
+		return err
+	}
+}
+
+// statsSearchRun is the stress search with live telemetry attached:
+// identical work to stressSearchRun plus the per-shard RunStats fold and a
+// snapshotter sampling it at 10x the production cadence, so the measured
+// overhead bounds the real one from above.
+func statsSearchRun(workers int) func(*obs.Metrics) error {
+	return func(m *obs.Metrics) error {
+		if err := ensureStressProblem(); err != nil {
+			return err
+		}
+		cfg := stressProblem.cfg
+		cfg.Workers = workers
+		cfg.Metrics = m
+		cfg.Stats = obs.NewRunStats("bench")
+		snap := obs.NewSnapshotter(obs.SnapshotterOptions{Metrics: m, Stats: cfg.Stats})
+		snap.Run(100 * time.Millisecond)
+		defer snap.Stop()
 		_, err := core.Search(stressProblem.p, cfg, stressProblem.preds, core.Enumeration)
 		return err
 	}

@@ -237,4 +237,5 @@ func (c *checkpointer) save(snap searchCheckpoint) {
 		return
 	}
 	c.cfg.Metrics.Inc("resilience.checkpoint_saves")
+	c.cfg.Stats.NoteCheckpointSave(len(snap.Done))
 }

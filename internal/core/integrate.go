@@ -208,15 +208,16 @@ func selectionOK(d bad.Design, l int, clocks bad.Clocks) bool {
 
 // evalTrial wraps integrate with per-trial observability: a child span, a
 // "trial" point event carrying the feasibility outcome, the rejection
-// reason and its chip attribution, and metrics counters/latency. With both
-// tracing and metrics disabled it adds only two nil checks, so the search
-// hot path is unaffected by default.
-func (it *integrator) evalTrial(sp *obs.Span, choice []bad.Design, l int) (GlobalDesign, error) {
+// reason and its chip attribution, metrics counters/latency, and the
+// shard's live stats cell (trial counters plus slow-trial exemplars). With
+// tracing, metrics and stats all disabled it adds only three nil checks,
+// so the search hot path is unaffected by default.
+func (it *integrator) evalTrial(sp *obs.Span, ss *obs.ShardStats, choice []bad.Design, l int) (GlobalDesign, error) {
 	if err := it.cfg.Inject.Fire("core.trial"); err != nil {
 		return GlobalDesign{}, err
 	}
 	m := it.cfg.Metrics
-	if sp == nil && m == nil {
+	if sp == nil && m == nil && ss == nil {
 		return it.integrate(choice, l)
 	}
 	tsp := sp.Child("integrate", obs.F("ii", l))
@@ -224,6 +225,13 @@ func (it *integrator) evalTrial(sp *obs.Span, choice []bad.Design, l int) (Globa
 	g, err := it.integrate(choice, l)
 	elapsed := time.Since(t0)
 	tsp.End(obs.F("feasible", g.Feasible), obs.F("reason", g.ReasonCode.String()))
+	if ss != nil {
+		reason := ""
+		if !g.Feasible {
+			reason = g.ReasonCode.String()
+		}
+		ss.Trial(float64(elapsed.Nanoseconds())/1e3, l, g.Feasible, reason)
+	}
 	if sp != nil {
 		fields := []obs.Field{obs.F("ii", l), obs.F("feasible", g.Feasible)}
 		if !g.Feasible {

@@ -93,7 +93,7 @@ var errShardInterrupted = errors.New("core: shard interrupted")
 // recovered panic becomes that shard's error, the pool drains, and every
 // other shard's partial result still merges as usual.
 func runShard(cfg Config, out *shardOut, aborted *atomic.Bool, cp *checkpointer,
-	si int, body func() error) (stop bool) {
+	ss *obs.ShardStats, si int, body func() error) (stop bool) {
 
 	err := resilience.Guard("core.search", body)
 	if err == errShardInterrupted {
@@ -107,8 +107,23 @@ func runShard(cfg Config, out *shardOut, aborted *atomic.Bool, cp *checkpointer,
 		aborted.Store(true)
 		return true
 	}
+	ss.Done()
 	cp.markDone(si, &out.res)
 	return false
+}
+
+// markRestored publishes checkpoint-restored shards into the live stats so
+// a resumed run reports the full picture without re-executing them.
+func markRestored(cfg Config, skip map[int]bool, outs []shardOut) {
+	if cfg.Stats == nil {
+		return
+	}
+	for si, restored := range skip {
+		if restored {
+			cfg.Stats.ShardStats(si).Restored(
+				int64(outs[si].res.Trials), int64(outs[si].res.FeasibleTrials))
+		}
+	}
 }
 
 // enumerateParallel is the sharded worker-pool form of enumerate.
@@ -126,10 +141,12 @@ func enumerateParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs
 		shards = total
 	}
 	outs := make([]shardOut, shards)
+	cfg.Stats.StartSearch(shards, int64(total))
 	cp, skip, err := newCheckpointer(it.p, cfg, Enumeration, lists, shards, total, outs, sp)
 	if err != nil {
 		return SearchResult{Heuristic: Enumeration}, err
 	}
+	markRestored(cfg, skip, outs)
 	var cursor atomic.Int64 // next unclaimed shard index
 	var aborted atomic.Bool // first error/cancel stops idle pickup fast
 	var wg sync.WaitGroup
@@ -148,8 +165,10 @@ func enumerateParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs
 					continue // restored from a checkpoint
 				}
 				out := &outs[si]
-				stop := runShard(cfg, out, &aborted, cp, si, func() error {
+				ss := cfg.Stats.ShardStats(si)
+				stop := runShard(cfg, out, &aborted, cp, ss, si, func() error {
 					lo, hi := shardRange(total, shards, si)
+					ss.Start(int64(hi - lo))
 					decodeCombination(lo, lists, idx)
 					for k := lo; k < hi; k++ {
 						if err := cfg.canceled(); err != nil {
@@ -158,7 +177,7 @@ func enumerateParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs
 						if aborted.Load() {
 							return errShardInterrupted
 						}
-						if err := enumTrial(it, cfg, &out.res, lists, idx, choice, sp); err != nil {
+						if err := enumTrial(it, cfg, &out.res, lists, idx, choice, sp, ss); err != nil {
 							return err
 						}
 						advanceOdometer(idx, lists)
@@ -203,10 +222,12 @@ func iterativeParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs
 		workers = 1
 	}
 	outs := make([]shardOut, len(intervals))
+	cfg.Stats.StartSearch(len(intervals), 0)
 	cp, skip, err := newCheckpointer(it.p, cfg, Iterative, lists, len(intervals), len(intervals), outs, sp)
 	if err != nil {
 		return SearchResult{Heuristic: Iterative}, err
 	}
+	markRestored(cfg, skip, outs)
 	var cursor atomic.Int64
 	var aborted atomic.Bool
 	var wg sync.WaitGroup
@@ -223,8 +244,10 @@ func iterativeParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs
 					continue // restored from a checkpoint
 				}
 				out := &outs[si]
-				stop := runShard(cfg, out, &aborted, cp, si, func() error {
-					return iterativeInterval(it, cfg, lists, intervals[si], &out.res, sp)
+				ss := cfg.Stats.ShardStats(si)
+				stop := runShard(cfg, out, &aborted, cp, ss, si, func() error {
+					ss.Start(0)
+					return iterativeInterval(it, cfg, lists, intervals[si], &out.res, sp, ss)
 				})
 				if stop {
 					return

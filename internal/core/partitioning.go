@@ -259,6 +259,13 @@ type Config struct {
 	// rejection reason, integrate latency, urgency scheduling effort,
 	// designs per partition). Nil disables metrics collection.
 	Metrics *obs.Metrics
+	// Stats, when non-nil, receives live per-shard search progress —
+	// trials done/total, feasible counts, throughput, checkpoint lag —
+	// published with one atomic add per trial (no hot-loop locks). The
+	// serve layer polls it for /stats and SSE; `chop top` renders it.
+	// Stats never influence the search: results with stats attached are
+	// byte-identical to results without.
+	Stats *obs.RunStats
 }
 
 // defaultBusPins is two 16-bit datapath words.

@@ -86,6 +86,15 @@ func search(p *Partitioning, cfg Config, preds []bad.Result, h Heuristic, parent
 		lists[i] = r.Designs
 	}
 	workers := cfg.searchWorkers()
+	// Attach the predictor-cache sampler to the live stats (first call
+	// wins, so reaching search through Run keeps Run's earlier baseline).
+	if cfg.Stats != nil && cfg.PredictCache != nil {
+		cache := cfg.PredictCache
+		cfg.Stats.SetCacheStatsFunc(func() (int64, int64) {
+			cs := cache.Stats()
+			return cs.Hits, cs.Misses
+		})
+	}
 	sp := obs.SpanUnder(cfg.Trace, parent, "Search",
 		obs.F("heuristic", h.String()), obs.F("workers", workers))
 	defer cfg.Metrics.Timer("core.search_us")()
@@ -135,6 +144,15 @@ func Run(p *Partitioning, cfg Config, h Heuristic) (SearchResult, []bad.Result, 
 	root := cfg.Trace.Span("Run", fields...)
 	defer root.End()
 	defer cfg.Metrics.Timer("core.run_us")()
+	// Baseline the cache sampler before the predictions that use it, so the
+	// reported hit rate covers this run's own predictor work.
+	if cfg.Stats != nil && cfg.PredictCache != nil {
+		cache := cfg.PredictCache
+		cfg.Stats.SetCacheStatsFunc(func() (int64, int64) {
+			cs := cache.Stats()
+			return cs.Hits, cs.Misses
+		})
+	}
 	preds, err := predictPartitions(p, cfg, root)
 	if err != nil {
 		return SearchResult{}, nil, err
@@ -175,19 +193,24 @@ func enumerate(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (
 		// -progress sink) can report trials as a fraction of the whole.
 		sp.Point("space", obs.F("combinations", total))
 	}
+	// The serial walk is one shard to the live stats.
+	cfg.Stats.StartSearch(1, int64(total))
+	ss := cfg.Stats.ShardStats(0)
+	ss.Start(int64(total))
 	idx := make([]int, len(lists))
 	choice := make([]bad.Design, len(lists))
 	for {
 		if err := cfg.canceled(); err != nil {
 			return res, err
 		}
-		if err := enumTrial(it, cfg, &res, lists, idx, choice, sp); err != nil {
+		if err := enumTrial(it, cfg, &res, lists, idx, choice, sp, ss); err != nil {
 			return res, err
 		}
 		if !advanceOdometer(idx, lists) {
 			break
 		}
 	}
+	ss.Done()
 	finishSearch(&res)
 	return res, nil
 }
@@ -197,7 +220,7 @@ func enumerate(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (
 // trial, no allocation); the evaluated choice itself is cloned before it
 // escapes into the result.
 func enumTrial(it *integrator, cfg Config, res *SearchResult,
-	lists [][]bad.Design, idx []int, choice []bad.Design, sp *obs.Span) error {
+	lists [][]bad.Design, idx []int, choice []bad.Design, sp *obs.Span, ss *obs.ShardStats) error {
 
 	for i, j := range idx {
 		choice[i] = lists[i][j]
@@ -211,7 +234,7 @@ func enumTrial(it *integrator, cfg Config, res *SearchResult,
 		}
 	}
 	res.Trials++
-	g, err := it.evalTrial(sp, cloneChoice(choice), l)
+	g, err := it.evalTrial(sp, ss, cloneChoice(choice), l)
 	if err != nil {
 		return err
 	}
@@ -244,10 +267,17 @@ func iterative(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (
 	if sp != nil {
 		sp.Point("space", obs.F("intervals", len(intervals)))
 	}
-	for _, l := range intervals {
-		if err := iterativeInterval(it, cfg, lists, l, &res, sp); err != nil {
+	// One stats shard per candidate interval, matching the parallel
+	// engine's shard geometry; serialization walks have no a-priori trial
+	// count, so shard totals stay unknown.
+	cfg.Stats.StartSearch(len(intervals), 0)
+	for i, l := range intervals {
+		ss := cfg.Stats.ShardStats(i)
+		ss.Start(0)
+		if err := iterativeInterval(it, cfg, lists, l, &res, sp, ss); err != nil {
 			return res, err
 		}
+		ss.Done()
 	}
 	finishSearch(&res)
 	return res, nil
@@ -296,7 +326,7 @@ func iterativeIntervals(cfg Config, lists [][]bad.Design) []int {
 // iterativeParallel fan intervals out across workers and merge the
 // per-interval results back in interval order.
 func iterativeInterval(it *integrator, cfg Config, lists [][]bad.Design, l int,
-	res *SearchResult, sp *obs.Span) error {
+	res *SearchResult, sp *obs.Span, ss *obs.ShardStats) error {
 
 	// Initialize W_i to the fastest valid implementation at interval l
 	// (paper: advance each W_i until L_i >= l or W_i is non-pipelined
@@ -317,7 +347,7 @@ func iterativeInterval(it *integrator, cfg Config, lists [][]bad.Design, l int,
 			choice[i] = lists[i][w[i]]
 		}
 		res.Trials++
-		g, err := it.evalTrial(sp, choice, l)
+		g, err := it.evalTrial(sp, ss, choice, l)
 		if err != nil {
 			return err
 		}
@@ -345,7 +375,7 @@ func iterativeInterval(it *integrator, cfg Config, lists [][]bad.Design, l int,
 			}
 			trial[pi] = lists[pi][ni]
 			res.Trials++
-			tg, err := it.evalTrial(sp, trial, l)
+			tg, err := it.evalTrial(sp, ss, trial, l)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestExemplarStoreKeepsSlowest(t *testing.T) {
+	s := NewExemplarStore(3)
+	for i := 1; i <= 10; i++ {
+		s.Observe(Exemplar{DurUS: float64(i), Shard: i})
+	}
+	top := s.Top()
+	if len(top) != 3 {
+		t.Fatalf("|top| = %d, want 3", len(top))
+	}
+	for i, want := range []float64{10, 9, 8} {
+		if top[i].DurUS != want {
+			t.Fatalf("top[%d] = %+v, want durUS %v", i, top[i], want)
+		}
+	}
+}
+
+func TestExemplarStoreZeroValue(t *testing.T) {
+	var s ExemplarStore
+	for i := 0; i < ExemplarTopK+5; i++ {
+		s.Observe(Exemplar{DurUS: float64(i)})
+	}
+	if got := len(s.Top()); got != ExemplarTopK {
+		t.Fatalf("zero-value store kept %d, want %d", got, ExemplarTopK)
+	}
+}
+
+func TestExemplarStoreFastPathRejectsBelowFloor(t *testing.T) {
+	s := NewExemplarStore(2)
+	s.Observe(Exemplar{DurUS: 10})
+	s.Observe(Exemplar{DurUS: 20})
+	// Floor is now 10; a slower-than-floor trial must displace, an equal or
+	// faster one must not.
+	s.Observe(Exemplar{DurUS: 5})
+	s.Observe(Exemplar{DurUS: 15})
+	top := s.Top()
+	if len(top) != 2 || top[0].DurUS != 20 || top[1].DurUS != 15 {
+		t.Fatalf("top = %+v, want [20 15]", top)
+	}
+}
+
+func TestExemplarStoreConcurrent(t *testing.T) {
+	s := NewExemplarStore(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Observe(Exemplar{DurUS: float64(g*1000 + i), Shard: g})
+			}
+		}(g)
+	}
+	wg.Wait()
+	top := s.Top()
+	if len(top) != 4 {
+		t.Fatalf("|top| = %d, want 4", len(top))
+	}
+	for i, want := range []float64{7999, 7998, 7997, 7996} {
+		if top[i].DurUS != want {
+			t.Fatalf("top[%d].DurUS = %v, want %v", i, top[i].DurUS, want)
+		}
+	}
+}

@@ -17,19 +17,30 @@ const (
 	httpPrefix     = "serve.http."
 	httpInFlight   = "serve.http.in_flight"
 	httpRequestsUS = "serve.http.request_us" // aggregate across routes
+	httpStreamUS   = "serve.http.stream_us"  // stream lifetimes, all routes
 )
 
-// statusWriter captures the response code while forwarding the Flusher
-// interface, which streaming handlers (SSE) require to survive wrapping.
+// statusWriter captures the response code and the time to first byte while
+// forwarding the Flusher interface, which streaming handlers (SSE) require
+// to survive wrapping.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status  int
+	start   time.Time
+	firstNS int64 // time to first header/byte, 0 until written
+}
+
+func (w *statusWriter) markFirst() {
+	if w.firstNS == 0 {
+		w.firstNS = time.Since(w.start).Nanoseconds()
+	}
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	if w.status == 0 {
 		w.status = code
 	}
+	w.markFirst()
 	w.ResponseWriter.WriteHeader(code)
 }
 
@@ -37,6 +48,7 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	if w.status == 0 {
 		w.status = http.StatusOK
 	}
+	w.markFirst()
 	return w.ResponseWriter.Write(p)
 }
 
@@ -74,20 +86,46 @@ func statusClass(code int) string {
 // route should be a short static label ("get_run", "metrics"), never a
 // request-derived string, to keep the registry cardinality bounded. A nil
 // registry disables recording but still serves. Safe for streaming
-// handlers: the wrapped writer forwards http.Flusher.
+// handlers: the wrapped writer forwards http.Flusher — but use
+// InstrumentStreamHandler for routes that hold connections open, or their
+// lifetimes poison the request latency histograms.
 func InstrumentHandler(m *Metrics, route string, next http.Handler) http.Handler {
+	return instrument(m, route, false, next)
+}
+
+// InstrumentStreamHandler instruments a long-lived streaming route (SSE).
+// The request latency histograms (serve.http.<route>_us and
+// serve.http.request_us) record the time to first byte — the only latency
+// a stream's opening has — while the stream's full lifetime goes to
+// serve.http.stream_us and serve.http.<route>.lifetime_us, keeping
+// minutes-long streams out of the all-routes request histogram.
+func InstrumentStreamHandler(m *Metrics, route string, next http.Handler) http.Handler {
+	return instrument(m, route, true, next)
+}
+
+func instrument(m *Metrics, route string, stream bool, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if m == nil {
 			next.ServeHTTP(w, r)
 			return
 		}
 		m.AddGauge(httpInFlight, 1)
-		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, start: start}
 		defer func() {
-			us := float64(time.Since(start).Nanoseconds()) / 1e3
+			total := float64(time.Since(start).Nanoseconds()) / 1e3
 			if sw.status == 0 {
 				sw.status = http.StatusOK // handler wrote nothing
+			}
+			us := total
+			if stream {
+				// Latency of a stream is its time to first byte; a stream
+				// that never wrote is booked at its full (short) lifetime.
+				if sw.firstNS > 0 {
+					us = float64(sw.firstNS) / 1e3
+				}
+				m.Observe(httpStreamUS, total)
+				m.Observe(httpPrefix+route+".lifetime_us", total)
 			}
 			m.Observe(httpPrefix+route+"_us", us)
 			m.Observe(httpRequestsUS, us)

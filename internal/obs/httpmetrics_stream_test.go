@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestInstrumentStreamHandlerTTFB is the SSE latency-skew regression test:
+// a streaming route's request histograms must record time-to-first-byte,
+// not the connection lifetime, which instead lands in stream_us and the
+// per-route lifetime histogram.
+func TestInstrumentStreamHandlerTTFB(t *testing.T) {
+	m := NewMetrics()
+	const hold = 60 * time.Millisecond
+	h := InstrumentStreamHandler(m, "events", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK) // first byte: immediately
+		time.Sleep(hold)             // then the stream stays open
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/events", nil))
+
+	snap := m.Snapshot()
+	req := snap.Histograms["serve.http.events_us"]
+	agg := snap.Histograms["serve.http.request_us"]
+	life := snap.Histograms["serve.http.events.lifetime_us"]
+	stream := snap.Histograms["serve.http.stream_us"]
+	holdUS := float64(hold.Microseconds())
+	if req.Count != 1 || req.Max >= holdUS {
+		t.Fatalf("route latency recorded lifetime, not TTFB: %+v (hold %v)", req, holdUS)
+	}
+	if agg.Count != 1 || agg.Max >= holdUS {
+		t.Fatalf("aggregate latency recorded lifetime: %+v", agg)
+	}
+	if life.Count != 1 || life.Max < holdUS {
+		t.Fatalf("lifetime histogram missing the hold: %+v", life)
+	}
+	if stream.Count != 1 || stream.Max < holdUS {
+		t.Fatalf("stream_us missing the hold: %+v", stream)
+	}
+	if m.Counter("serve.http.events.2xx") != 1 || m.Counter("serve.http.requests") != 1 {
+		t.Fatalf("status counters wrong: %s", m.Text())
+	}
+	if g := m.Gauge("serve.http.in_flight"); g != 0 {
+		t.Fatalf("in-flight gauge = %v after completion", g)
+	}
+}
+
+// TestInstrumentStreamHandlerNeverWrote: a stream that ends without writing
+// books its (short) full duration as the request latency.
+func TestInstrumentStreamHandlerNeverWrote(t *testing.T) {
+	m := NewMetrics()
+	h := InstrumentStreamHandler(m, "quiet", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/q", nil))
+	snap := m.Snapshot()
+	if snap.Histograms["serve.http.quiet_us"].Count != 1 {
+		t.Fatalf("request histogram missing: %+v", snap.Histograms)
+	}
+	if m.Counter("serve.http.quiet.2xx") != 1 {
+		t.Fatalf("empty stream not booked as 200: %s", m.Text())
+	}
+}
+
+// TestInstrumentHandlerNonStreamUnchanged pins the plain path: no stream_us
+// entries, full duration in the request histograms.
+func TestInstrumentHandlerNonStreamUnchanged(t *testing.T) {
+	m := NewMetrics()
+	h := InstrumentHandler(m, "plain", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/p", nil))
+	snap := m.Snapshot()
+	if _, ok := snap.Histograms["serve.http.stream_us"]; ok {
+		t.Fatal("plain route wrote stream_us")
+	}
+	if _, ok := snap.Histograms["serve.http.plain.lifetime_us"]; ok {
+		t.Fatal("plain route wrote a lifetime histogram")
+	}
+	if m.Counter("serve.http.plain.4xx") != 1 {
+		t.Fatalf("status class wrong: %s", m.Text())
+	}
+}

@@ -57,6 +57,10 @@ type Event struct {
 	Parent int64 `json:"parent,omitempty"`
 	// DurNS is the span duration in nanoseconds (end events only).
 	DurNS int64 `json:"dur,omitempty"`
+	// Run tags the event with the run it belongs to when several runs
+	// multiplex into one sink (the serve ring); empty for single-run
+	// tracers. Replay groups by it when present.
+	Run string `json:"run,omitempty"`
 	// Fields holds the structured attributes.
 	Fields map[string]any `json:"f,omitempty"`
 }
@@ -148,6 +152,7 @@ func (s *CountingSink) Names() []string {
 type Tracer struct {
 	sink  Sink
 	start time.Time
+	run   string
 	ids   atomic.Int64
 }
 
@@ -158,6 +163,24 @@ func New(sink Sink) *Tracer {
 		return nil
 	}
 	return &Tracer{sink: sink, start: time.Now()}
+}
+
+// NewRunTracer returns a Tracer that stamps every emitted event with the
+// given run identifier, making events demuxable when several concurrent
+// runs share one sink (the serve layer tags each job's tracer with its run
+// ID). Like New, a nil sink disables tracing.
+func NewRunTracer(sink Sink, run string) *Tracer {
+	t := New(sink)
+	if t != nil {
+		t.run = run
+	}
+	return t
+}
+
+// emit stamps the tracer's run tag (if any) and forwards to the sink.
+func (t *Tracer) emit(ev Event) {
+	ev.Run = t.run
+	t.sink.Emit(ev)
 }
 
 // Enabled reports whether the tracer emits anything.
@@ -176,7 +199,7 @@ func (t *Tracer) Span(name string, fields ...Field) *Span {
 
 func (t *Tracer) newSpan(name string, parent int64, fields []Field) *Span {
 	id := t.ids.Add(1)
-	t.sink.Emit(Event{
+	t.emit(Event{
 		TNS: t.now(), Kind: KindBegin, Name: name,
 		Span: id, Parent: parent, Fields: fieldMap(fields),
 	})
@@ -215,7 +238,7 @@ func (s *Span) Point(name string, fields ...Field) {
 	if s == nil {
 		return
 	}
-	s.t.sink.Emit(Event{
+	s.t.emit(Event{
 		TNS: s.t.now(), Kind: KindPoint, Name: name,
 		Span: s.id, Fields: fieldMap(fields),
 	})
@@ -227,7 +250,7 @@ func (s *Span) End(fields ...Field) {
 	if s == nil {
 		return
 	}
-	s.t.sink.Emit(Event{
+	s.t.emit(Event{
 		TNS: s.t.now(), Kind: KindEnd, Name: s.name, Span: s.id,
 		DurNS: time.Since(s.start).Nanoseconds(), Fields: fieldMap(fields),
 	})

@@ -40,20 +40,39 @@ type Report struct {
 	// Partitions maps 1-based partition number -> kept BAD designs, from
 	// the per-partition BAD span end events.
 	Partitions map[int]int
+	// Runs groups the same aggregation per run tag when events carry one
+	// (traces from several serve jobs multiplexed into one sink). Untagged
+	// traces leave it empty; the top-level report always covers all events.
+	Runs map[string]*Report
+	// FirstTNS/LastTNS bound the trace's event times (tracer-relative
+	// nanoseconds); trialSecs buckets trial points per second for the
+	// timeline in FormatStats.
+	FirstTNS, LastTNS int64
+	trialSecs         map[int64]*timelineBucket
+}
+
+type timelineBucket struct{ trials, feasible int }
+
+func newReport() *Report {
+	return &Report{
+		Stages:      make(map[string]StageStat),
+		Reasons:     make(map[string]int),
+		ChipReasons: make(map[int]map[string]int),
+		Partitions:  make(map[int]int),
+		trialSecs:   make(map[int64]*timelineBucket),
+		FirstTNS:    -1,
+	}
 }
 
 // Replay parses a JSONL trace (as written by WriterSink) and aggregates it
 // into a Report.
 func Replay(r io.Reader) (*Report, error) {
-	rep := &Report{
-		Stages:      make(map[string]StageStat),
-		Reasons:     make(map[string]int),
-		ChipReasons: make(map[int]map[string]int),
-		Partitions:  make(map[int]int),
-	}
+	rep := newReport()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
-	begins := make(map[int64]map[string]any)
+	// Span IDs restart at 1 per tracer, so multiplexed traces need one
+	// begin table per run tag to attribute end events correctly.
+	beginsByRun := make(map[string]map[int64]map[string]any)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -65,6 +84,11 @@ func Replay(r io.Reader) (*Report, error) {
 		if err := json.Unmarshal(raw, &ev); err != nil {
 			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
 		}
+		begins := beginsByRun[ev.Run]
+		if begins == nil {
+			begins = make(map[int64]map[string]any)
+			beginsByRun[ev.Run] = begins
+		}
 		rep.add(ev, begins)
 	}
 	if err := sc.Err(); err != nil {
@@ -73,8 +97,32 @@ func Replay(r io.Reader) (*Report, error) {
 	return rep, nil
 }
 
+// add folds one event into the aggregate report and, when the event is
+// run-tagged, into that run's sub-report. The sub-report reads begins
+// before the aggregate pass deletes consumed entries.
 func (r *Report) add(ev Event, begins map[int64]map[string]any) {
+	if ev.Run != "" {
+		if r.Runs == nil {
+			r.Runs = make(map[string]*Report)
+		}
+		sub := r.Runs[ev.Run]
+		if sub == nil {
+			sub = newReport()
+			r.Runs[ev.Run] = sub
+		}
+		sub.ingest(ev, begins, false)
+	}
+	r.ingest(ev, begins, true)
+}
+
+func (r *Report) ingest(ev Event, begins map[int64]map[string]any, consume bool) {
 	r.Events++
+	if r.FirstTNS < 0 || ev.TNS < r.FirstTNS {
+		r.FirstTNS = ev.TNS
+	}
+	if ev.TNS > r.LastTNS {
+		r.LastTNS = ev.TNS
+	}
 	switch ev.Kind {
 	case KindBegin:
 		// Remember begin-side fields so end events can be attributed
@@ -97,12 +145,26 @@ func (r *Report) add(ev Event, begins map[int64]map[string]any) {
 				}
 			}
 		}
-		delete(begins, ev.Span)
+		if consume {
+			delete(begins, ev.Span)
+		}
 	case KindPoint:
 		switch ev.Name {
 		case "trial":
 			r.Trials++
-			if b, _ := ev.Fields["feasible"].(bool); b {
+			feasible, _ := ev.Fields["feasible"].(bool)
+			if r.trialSecs != nil {
+				tb := r.trialSecs[ev.TNS/1e9]
+				if tb == nil {
+					tb = &timelineBucket{}
+					r.trialSecs[ev.TNS/1e9] = tb
+				}
+				tb.trials++
+				if feasible {
+					tb.feasible++
+				}
+			}
+			if feasible {
 				r.Feasible++
 				return
 			}
@@ -213,6 +275,72 @@ func (r *Report) Format() string {
 			for _, rc := range sortedCounts(r.ChipReasons[c]) {
 				fmt.Fprintf(&b, "    %-18s %8d\n", rc.k, rc.n)
 			}
+		}
+	}
+	return b.String()
+}
+
+// FormatStats renders the telemetry view of a recorded trace: the same
+// rate/throughput report the live /stats endpoints serve, reconstructed
+// offline from trial-point timestamps. Printed by `chop explain -stats`.
+func (r *Report) FormatStats() string {
+	var b strings.Builder
+	span := r.LastTNS - r.FirstTNS
+	if r.FirstTNS < 0 {
+		span = 0
+	}
+	secs := float64(span) / 1e9
+	fmt.Fprintf(&b, "trace: %d events over %s\n", r.Events, fmtDur(span))
+	rate := 0.0
+	if secs > 0 {
+		rate = float64(r.Trials) / secs
+	}
+	fmt.Fprintf(&b, "trials: %d examined, %d feasible, %.0f trials/s avg\n",
+		r.Trials, r.Feasible, rate)
+
+	if len(r.Runs) > 0 {
+		b.WriteString("\nper run:\n")
+		fmt.Fprintf(&b, "  %-24s %8s %10s %10s %12s\n", "run", "events", "trials", "feasible", "trials/s")
+		ids := make([]string, 0, len(r.Runs))
+		for id := range r.Runs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			sub := r.Runs[id]
+			subSecs := float64(sub.LastTNS-sub.FirstTNS) / 1e9
+			subRate := 0.0
+			if subSecs > 0 {
+				subRate = float64(sub.Trials) / subSecs
+			}
+			fmt.Fprintf(&b, "  %-24s %8d %10d %10d %12.0f\n",
+				id, sub.Events, sub.Trials, sub.Feasible, subRate)
+		}
+	}
+
+	if len(r.trialSecs) > 0 {
+		b.WriteString("\ntrial rate timeline (trials per second of trace time):\n")
+		offs := make([]int64, 0, len(r.trialSecs))
+		peak := 0
+		for s, tb := range r.trialSecs {
+			offs = append(offs, s)
+			if tb.trials > peak {
+				peak = tb.trials
+			}
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		const barWidth = 40
+		for _, s := range offs {
+			tb := r.trialSecs[s]
+			n := 0
+			if peak > 0 {
+				n = tb.trials * barWidth / peak
+			}
+			if n == 0 && tb.trials > 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "  %4ds %-*s %8d trials %6d feasible\n",
+				s, barWidth, strings.Repeat("#", n), tb.trials, tb.feasible)
 		}
 	}
 	return b.String()

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// multiplexedTrace interleaves two run-tagged tracers on one sink, the way
+// a serve instance's runs multiplex into one trace file. Span IDs restart
+// at 1 in each tracer, so correct grouping requires keying begin events by
+// run tag.
+func multiplexedTrace(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := NewWriterSink(&buf)
+	ta := NewRunTracer(sink, "r-a")
+	tb := NewRunTracer(sink, "r-b")
+	sa := ta.Span("Search")
+	sb := tb.Span("Search")
+	sa.Point("trial", F("ii", 10), F("feasible", true))
+	sb.Point("trial", F("ii", 11), F("feasible", false), F("reason", "area"))
+	sb.Point("trial", F("ii", 12), F("feasible", false), F("reason", "area"))
+	sa.Point("trial", F("ii", 13), F("feasible", true))
+	sb.End(F("trials", 2))
+	sa.End(F("trials", 2))
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestNewRunTracerStampsEvents(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewWriterSink(&buf)
+	tr := NewRunTracer(sink, "r-42")
+	sp := tr.Span("Run")
+	sp.Point("trial", F("feasible", true))
+	sp.End()
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), `"run":"r-42"`); n != 3 {
+		t.Fatalf("run tag on %d of 3 events:\n%s", n, buf.String())
+	}
+	// A nil sink still yields an inert tracer.
+	if NewRunTracer(nil, "x") != nil {
+		t.Fatal("NewRunTracer(nil) != nil")
+	}
+}
+
+func TestReplayGroupsByRun(t *testing.T) {
+	rep, err := Replay(multiplexedTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 4 || rep.Feasible != 2 {
+		t.Fatalf("aggregate trials=%d feasible=%d, want 4/2", rep.Trials, rep.Feasible)
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2: %+v", len(rep.Runs), rep.Runs)
+	}
+	ra, rb := rep.Runs["r-a"], rep.Runs["r-b"]
+	if ra == nil || rb == nil {
+		t.Fatalf("missing run sub-reports: %+v", rep.Runs)
+	}
+	if ra.Trials != 2 || ra.Feasible != 2 {
+		t.Fatalf("r-a = %d/%d, want 2/2", ra.Trials, ra.Feasible)
+	}
+	if rb.Trials != 2 || rb.Feasible != 0 || rb.Reasons["area"] != 2 {
+		t.Fatalf("r-b = %d trials %d feasible reasons %v", rb.Trials, rb.Feasible, rb.Reasons)
+	}
+	// Span durations must resolve per run despite colliding span IDs.
+	if ra.Stages["Search"].Count != 1 || rb.Stages["Search"].Count != 1 {
+		t.Fatalf("per-run Search stage wrong: a=%+v b=%+v", ra.Stages["Search"], rb.Stages["Search"])
+	}
+	if rep.Stages["Search"].Count != 2 {
+		t.Fatalf("aggregate Search count = %d, want 2", rep.Stages["Search"].Count)
+	}
+}
+
+func TestFormatStats(t *testing.T) {
+	rep, err := Replay(multiplexedTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.FormatStats()
+	for _, want := range []string{
+		"trials: 4 examined, 2 feasible",
+		"r-a",
+		"r-b",
+		"trial rate timeline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats report missing %q:\n%s", want, out)
+		}
+	}
+	// Untagged traces render without a per-run table.
+	rep2, err := Replay(traceScript(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := rep2.FormatStats()
+	if !strings.Contains(out2, "trials: 4 examined, 1 feasible") {
+		t.Errorf("untagged stats report wrong:\n%s", out2)
+	}
+}

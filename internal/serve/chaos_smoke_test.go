@@ -48,6 +48,28 @@ func TestChaosSmoke(t *testing.T) {
 			"seed=3,serve.job=panic:0.1,bad.predict=error:0.02,core.trial=stall:0.001:100ms"),
 	})
 
+	// When CHOP_CHAOS_STATS_OUT names a file, a snapshotter records the
+	// server-wide counter time series through the soak as JSONL — CI
+	// uploads it as an artifact, so a failed (or suspicious) chaos run
+	// comes with its full telemetry trajectory attached.
+	if path := os.Getenv("CHOP_CHAOS_STATS_OUT"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := obs.NewSnapshotter(obs.SnapshotterOptions{Metrics: m, Out: f})
+		snap.Run(time.Second)
+		t.Cleanup(func() {
+			snap.Stop()
+			if err := snap.Err(); err != nil {
+				t.Errorf("chaos stats out: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				t.Errorf("chaos stats close: %v", err)
+			}
+		})
+	}
+
 	raw, err := json.Marshal(spec.Example())
 	if err != nil {
 		t.Fatal(err)

@@ -57,6 +57,10 @@ type JobContext struct {
 	Metrics *obs.Metrics
 	Log     *slog.Logger
 	Cache   *bad.PredictCache
+	// Stats is the run's live search-progress aggregator: jobs wire it into
+	// core.Config so the /stats endpoints and SSE stats stream can report
+	// per-shard throughput while the run executes.
+	Stats *obs.RunStats
 	// Checkpoint is the run's search-checkpoint path (empty: none). Jobs
 	// that search wire it into core.Config; a matching snapshot left by an
 	// interrupted earlier run is resumed automatically.
@@ -99,7 +103,8 @@ type Run struct {
 	timeout    time.Duration // wall-clock deadline (0: registry default)
 	checkpoint string        // search checkpoint path (empty: none)
 
-	ring *obs.RingSink
+	ring  *obs.RingSink
+	stats *obs.RunStats
 }
 
 // ID returns the run's registry identifier.
@@ -107,6 +112,11 @@ func (r *Run) ID() string { return r.id }
 
 // Ring returns the run's bounded trace ring, for streaming subscribers.
 func (r *Run) Ring() *obs.RingSink { return r.ring }
+
+// Stats returns the run's live search-progress aggregator. Valid (and
+// snapshot-able) from submission on; it reports empty until the job's
+// search starts publishing.
+func (r *Run) Stats() *obs.RunStats { return r.stats }
 
 // RunStatus is the API view of a run.
 type RunStatus struct {
@@ -368,6 +378,7 @@ func (r *Registry) SubmitWith(kind string, spec json.RawMessage, opts SubmitOpti
 	}
 	r.mu.Lock()
 	run.id = fmt.Sprintf("r-%06d", r.nextID.Add(1))
+	run.stats = obs.NewRunStats(run.id)
 	select {
 	case r.queue <- run:
 	default:
@@ -427,6 +438,37 @@ func (r *Registry) Cancel(id string) (bool, error) {
 	default:
 		return false, nil
 	}
+}
+
+// CacheStats snapshots the server-wide prediction cache's hit/miss
+// counters; ok is false when caching is disabled.
+func (r *Registry) CacheStats() (stats bad.CacheStats, ok bool) {
+	if r.cache == nil {
+		return bad.CacheStats{}, false
+	}
+	return r.cache.Stats(), true
+}
+
+// ActiveRunStats snapshots the live search stats of every currently
+// running run, submission order — the per-run rows of /api/v1/stats.
+func (r *Registry) ActiveRunStats() []obs.RunStatsSnapshot {
+	r.mu.Lock()
+	ids := append([]string(nil), r.order...)
+	runs := make([]*Run, len(ids))
+	for i, id := range ids {
+		runs[i] = r.runs[id]
+	}
+	r.mu.Unlock()
+	var out []obs.RunStatsSnapshot
+	for _, run := range runs {
+		run.mu.Lock()
+		running := run.state == StateRunning
+		run.mu.Unlock()
+		if running {
+			out = append(out, run.stats.Snapshot())
+		}
+	}
+	return out
 }
 
 // CountByState tallies runs per lifecycle state, for the /metrics gauges.
@@ -501,10 +543,13 @@ func (r *Registry) execute(run *Run) {
 		}
 		var jerr error
 		result, jerr = r.jobs[run.kind].Run(ctx, run.spec, JobContext{
-			Tracer:     obs.New(run.ring),
+			// The tracer stamps the run id on every event, so several runs
+			// multiplexed into one consumer stay demuxable.
+			Tracer:     obs.NewRunTracer(run.ring, run.id),
 			Metrics:    perRun,
 			Log:        log,
 			Cache:      r.cache,
+			Stats:      run.stats,
 			Checkpoint: run.checkpoint,
 			Inject:     r.inject,
 		})

@@ -105,25 +105,37 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Handler returns the full route table:
 //
-//	POST   /api/v1/runs             submit a run
-//	GET    /api/v1/runs             list runs
-//	GET    /api/v1/runs/{id}        one run, with result
-//	DELETE /api/v1/runs/{id}        cancel a run
-//	GET    /api/v1/runs/{id}/events live trace stream (SSE)
-//	GET    /metrics                 Prometheus text exposition
-//	GET    /healthz                 liveness
-//	GET    /readyz                  readiness (503 while draining)
-//	GET    /debug/pprof/...         net/http/pprof
+//	POST   /api/v1/runs                   submit a run
+//	GET    /api/v1/runs                   list runs
+//	GET    /api/v1/runs/{id}              one run, with result
+//	DELETE /api/v1/runs/{id}              cancel a run
+//	GET    /api/v1/runs/{id}/events       live trace stream (SSE)
+//	GET    /api/v1/runs/{id}/stats        live search stats: aggregate + shard table
+//	GET    /api/v1/runs/{id}/stats/stream sampled stats stream (SSE)
+//	GET    /api/v1/stats                  server-wide telemetry snapshot
+//	GET    /metrics                       Prometheus text exposition
+//	GET    /healthz                       liveness
+//	GET    /readyz                        readiness (503 while draining)
+//	GET    /debug/pprof/...               net/http/pprof
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern, name string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.logRequest(name, obs.InstrumentHandler(s.metrics, name, h)))
 	}
+	// SSE routes hold their connection open for the run's lifetime, so they
+	// record time-to-first-byte into the request histograms and their full
+	// lifetime into serve.http.stream_us instead (see InstrumentStreamHandler).
+	stream := func(pattern, name string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.logRequest(name, obs.InstrumentStreamHandler(s.metrics, name, h)))
+	}
 	route("POST /api/v1/runs", "submit", s.handleSubmit)
 	route("GET /api/v1/runs", "list_runs", s.handleList)
 	route("GET /api/v1/runs/{id}", "get_run", s.handleGet)
 	route("DELETE /api/v1/runs/{id}", "cancel_run", s.handleCancel)
-	route("GET /api/v1/runs/{id}/events", "events", s.handleEvents)
+	stream("GET /api/v1/runs/{id}/events", "events", s.handleEvents)
+	route("GET /api/v1/runs/{id}/stats", "run_stats", s.handleRunStats)
+	stream("GET /api/v1/runs/{id}/stats/stream", "stats_stream", s.handleStatsStream)
+	route("GET /api/v1/stats", "stats", s.handleStats)
 	route("GET /metrics", "metrics", s.handleMetrics)
 	route("GET /healthz", "healthz", s.handleHealthz)
 	route("GET /readyz", "readyz", s.handleReadyz)

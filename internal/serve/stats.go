@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"chop/internal/obs"
+)
+
+// This file is the HTTP surface of the run telemetry plane: the per-run
+// and server-wide /stats snapshots plus the per-run SSE stats stream that
+// `chop top` renders. The underlying data is the run's obs.RunStats fold
+// (published lock-free by the search workers) and the server-wide metrics
+// registry.
+
+// CacheView is the prediction cache's position in a stats payload.
+type CacheView struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hitRate"`
+}
+
+// ServerStats is the GET /api/v1/stats payload: supervision state (queue
+// depth, worker occupancy), the shared prediction cache's hit rate, the
+// resilience counters (retries, recovered panics, checkpoint activity)
+// folded from the server-wide registry, and the live per-shard fold of
+// every running run.
+type ServerStats struct {
+	Time time.Time `json:"time"`
+	// QueueDepth is the queued-run backlog; MaxConcurrent the worker-pool
+	// bound; RunsInFlight the currently executing runs; Occupancy their
+	// ratio (1.0 = every worker busy).
+	QueueDepth    int     `json:"queueDepth"`
+	MaxConcurrent int     `json:"maxConcurrent"`
+	RunsInFlight  int     `json:"runsInFlight"`
+	Occupancy     float64 `json:"occupancy"`
+	// Runs tallies all supervised runs by lifecycle state.
+	Runs map[string]int `json:"runs"`
+	// Cache is the server-wide prediction cache (absent when disabled).
+	Cache *CacheView `json:"cache,omitempty"`
+	// Resilience holds the resilience.* counters: recovered panics,
+	// checkpoint saves/failures/resumes, retry activity.
+	Resilience map[string]int64 `json:"resilience,omitempty"`
+	// HTTPRequests totals served requests; TraceDropped the events bounded
+	// run rings have discarded across finished merges.
+	HTTPRequests int64 `json:"httpRequests,omitempty"`
+	// Active carries the live search fold of every running run.
+	Active []obs.RunStatsSnapshot `json:"active,omitempty"`
+}
+
+// serverStats assembles the /api/v1/stats payload.
+func (s *Server) serverStats() ServerStats {
+	st := ServerStats{
+		Time:          time.Now(),
+		QueueDepth:    s.reg.QueueLen(),
+		MaxConcurrent: s.reg.MaxConcurrent(),
+		Runs:          make(map[string]int),
+	}
+	for state, n := range s.reg.CountByState() {
+		st.Runs[string(state)] = n
+		if state == StateRunning {
+			st.RunsInFlight = n
+		}
+	}
+	if st.MaxConcurrent > 0 {
+		st.Occupancy = float64(st.RunsInFlight) / float64(st.MaxConcurrent)
+	}
+	if cs, ok := s.reg.CacheStats(); ok {
+		st.Cache = &CacheView{Hits: cs.Hits, Misses: cs.Misses, HitRate: cs.HitRate()}
+	}
+	snap := s.metrics.Snapshot()
+	for k, v := range snap.Counters {
+		if name, ok := strings.CutPrefix(k, "resilience."); ok {
+			if st.Resilience == nil {
+				st.Resilience = make(map[string]int64)
+			}
+			st.Resilience[name] = v
+		}
+	}
+	st.HTTPRequests = snap.Counters["serve.http.requests"]
+	st.Active = s.reg.ActiveRunStats()
+	return st
+}
+
+// handleStats serves the server-wide telemetry snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.serverStats())
+}
+
+// RunStatsPayload is the GET /api/v1/runs/{id}/stats payload and the data
+// of each SSE "stats" message: the run's status envelope plus the live
+// per-shard search fold.
+type RunStatsPayload struct {
+	Run   RunStatus            `json:"run"`
+	Stats obs.RunStatsSnapshot `json:"stats"`
+}
+
+// handleRunStats serves one run's current aggregate and shard table.
+func (s *Server) handleRunStats(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not-found",
+			fmt.Errorf("run %q not found", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, RunStatsPayload{
+		Run:   run.Status(false),
+		Stats: run.Stats().Snapshot(),
+	})
+}
+
+// statsStreamInterval is the default cadence of the SSE stats stream;
+// clients may lower or raise it (bounded) with ?interval=<seconds>.
+const statsStreamInterval = time.Second
+
+// handleStatsStream streams one run's stats as Server-Sent Events next to
+// the trace stream: one `event: stats` per sampling interval whose data is
+// a RunStatsPayload, ending with one `event: done` carrying the final
+// status once the run reaches a terminal state (immediately, for
+// already-terminal runs). Unlike the trace stream this is sampled, not
+// event-driven: the search publishes through atomic counters and the
+// stream folds them at the chosen cadence.
+func (s *Server) handleStatsStream(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not-found",
+			fmt.Errorf("run %q not found", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "no-stream",
+			errors.New("response writer does not support streaming"))
+		return
+	}
+	interval := statsStreamInterval
+	if v := r.URL.Query().Get("interval"); v != "" {
+		if secs, err := strconv.ParseFloat(v, 64); err == nil {
+			interval = time.Duration(secs * float64(time.Second))
+		}
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	seq := 0
+	send := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		seq++
+		if _, err := fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, seq, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		status := run.Status(false)
+		if status.State.Terminal() {
+			// One last sample so the client ends with the final counters,
+			// then the terminal status.
+			send("stats", RunStatsPayload{Run: status, Stats: run.Stats().Snapshot()})
+			send("done", status)
+			return
+		}
+		if !send("stats", RunStatsPayload{Run: status, Stats: run.Stats().Snapshot()}) {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

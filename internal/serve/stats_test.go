@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeRunStatsEndpoint: a completed run's /stats reports the final
+// shard fold next to the status envelope.
+func TestServeRunStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxConcurrent: 1})
+	st, _ := postRun(t, ts, exampleSpecBody(t))
+	waitHTTPState(t, ts.URL+"/api/v1/runs/"+st.ID, StateDone)
+
+	var p RunStatsPayload
+	resp := getJSON(t, ts.URL+"/api/v1/runs/"+st.ID+"/stats", &p)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if p.Run.ID != st.ID || p.Run.State != StateDone {
+		t.Fatalf("run envelope wrong: %+v", p.Run)
+	}
+	if !p.Stats.Started || p.Stats.Trials == 0 {
+		t.Fatalf("stats fold empty: %+v", p.Stats)
+	}
+	if !p.Stats.Done() {
+		t.Fatalf("fold not done for a done run: %+v", p.Stats)
+	}
+	if len(p.Stats.ShardTable) == 0 || len(p.Stats.SlowTrials) == 0 {
+		t.Fatalf("fold missing shard table or exemplars: %+v", p.Stats)
+	}
+	var sum int64
+	for _, sh := range p.Stats.ShardTable {
+		sum += sh.Trials
+	}
+	if sum != p.Stats.Trials {
+		t.Fatalf("shard table sums to %d, aggregate %d", sum, p.Stats.Trials)
+	}
+
+	resp = getJSON(t, ts.URL+"/api/v1/runs/nope/stats", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing run: status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServeServerStatsEndpoint: the server-wide snapshot reflects
+// supervision state, the shared cache and the HTTP counters.
+func TestServeServerStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxConcurrent: 2})
+	st, _ := postRun(t, ts, exampleSpecBody(t))
+	waitHTTPState(t, ts.URL+"/api/v1/runs/"+st.ID, StateDone)
+
+	var stats ServerStats
+	resp := getJSON(t, ts.URL+"/api/v1/stats", &stats)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if stats.MaxConcurrent != 2 {
+		t.Fatalf("maxConcurrent = %d, want 2", stats.MaxConcurrent)
+	}
+	if stats.Runs[string(StateDone)] != 1 {
+		t.Fatalf("runs by state = %+v, want 1 done", stats.Runs)
+	}
+	if stats.Cache == nil {
+		t.Fatal("shared prediction cache missing from stats")
+	}
+	if stats.HTTPRequests == 0 {
+		t.Fatal("http request counter missing")
+	}
+	if stats.RunsInFlight != 0 || stats.Occupancy != 0 {
+		t.Fatalf("idle server reports occupancy: %+v", stats)
+	}
+	if len(stats.Active) != 0 {
+		t.Fatalf("idle server reports active runs: %+v", stats.Active)
+	}
+}
+
+// TestServeStatsStream: the SSE stats stream emits sampled stats events and
+// terminates with a done event once the run is terminal. An already-done
+// run yields the final sample immediately — no waiting on the ticker.
+func TestServeStatsStream(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxConcurrent: 1})
+	st, _ := postRun(t, ts, exampleSpecBody(t))
+	waitHTTPState(t, ts.URL+"/api/v1/runs/"+st.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/api/v1/runs/" + st.ID + "/stats/stream?interval=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var events []string
+	var lastStats RunStatsPayload
+	var done RunStatus
+	sc := bufio.NewScanner(resp.Body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+			events = append(events, event)
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "stats":
+				if err := json.Unmarshal([]byte(data), &lastStats); err != nil {
+					t.Fatalf("bad stats payload %q: %v", data, err)
+				}
+			case "done":
+				if err := json.Unmarshal([]byte(data), &done); err != nil {
+					t.Fatalf("bad done payload %q: %v", data, err)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0] != "stats" || events[1] != "done" {
+		t.Fatalf("events = %v, want [stats done]", events)
+	}
+	if !lastStats.Stats.Done() || lastStats.Stats.Trials == 0 {
+		t.Fatalf("final stats sample not terminal: %+v", lastStats.Stats)
+	}
+	if done.State != StateDone {
+		t.Fatalf("done event state = %s", done.State)
+	}
+
+	resp2, err := http.Get(ts.URL + "/api/v1/runs/nope/stats/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing run stream: status = %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestServeStatsStreamLive follows a running job: at least one in-flight
+// sample arrives before the terminal pair.
+func TestServeStatsStreamLive(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxConcurrent: 1})
+	st, _ := postRun(t, ts, `{"kind":"exp2"}`)
+
+	resp, err := http.Get(ts.URL + "/api/v1/runs/" + st.ID + "/stats/stream?interval=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	statsEvents, doneEvents := 0, 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: stats") {
+			statsEvents++
+		}
+		if strings.HasPrefix(line, "event: done") {
+			doneEvents++
+		}
+	}
+	if statsEvents < 1 || doneEvents != 1 {
+		t.Fatalf("stats=%d done=%d, want >=1 and 1", statsEvents, doneEvents)
+	}
+}
