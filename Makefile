@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-stats-gate gobench fuzz chaos cover serve ci
+.PHONY: all build vet lint test race bench bench-stats-gate profile-smoke gobench fuzz chaos cover serve ci
 
 all: build
 
@@ -37,6 +37,14 @@ bench:
 STATS_GATE ?= 5
 bench-stats-gate:
 	$(GO) run ./cmd/chop bench -run search/st -stats-gate $(STATS_GATE)
+
+# profile-smoke records a short phase-attribution profile of the search
+# workload into PROFILE_DIR: cpu.pprof, heap.pprof and profile.json. Gate a
+# change against a committed baseline with:
+#   go run ./cmd/chop profile -compare <baseline-dir> -alloc-tolerance 10
+PROFILE_DIR ?= profile-smoke
+profile-smoke:
+	$(GO) run ./cmd/chop profile -short -dir $(PROFILE_DIR)
 
 # gobench runs the in-tree go test benchmarks (overhead gates etc.).
 gobench:

@@ -13,10 +13,13 @@ import (
 // -compare mode, gates a new BENCH report against a baseline:
 //
 //	chop bench -short -json                        # measure, write BENCH_<n>.json
-//	chop bench -compare old.json new.json -tolerance 10
+//	chop bench -compare old.json new.json -tolerance 10 -alloc-tolerance 5
 //
 // -compare exits non-zero when any workload's ns/op regressed by at least
-// the tolerance, which is what CI and the Makefile hook into.
+// the tolerance (or its allocs/op by -alloc-tolerance, when positive),
+// which is what CI and the Makefile hook into. Reports record the build
+// environment they were measured on; -compare warns when baseline and
+// current report come from different hardware or Go versions.
 func bench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	short := fs.Bool("short", false, "use the small per-workload time budget (CI-friendly)")
@@ -25,7 +28,8 @@ func bench(args []string) error {
 	out := fs.String("o", "", "write the report to this exact path instead of BENCH_<n>.json")
 	runFilter := fs.String("run", "", "only run workloads whose name contains this substring")
 	compareOld := fs.String("compare", "", "baseline BENCH json; compares against the positional new BENCH json instead of measuring")
-	tolerance := fs.Float64("tolerance", 10, "regression tolerance in percent for -compare")
+	tolerance := fs.Float64("tolerance", 10, "ns/op regression tolerance in percent for -compare")
+	allocTolerance := fs.Float64("alloc-tolerance", 0, "allocs/op regression tolerance in percent for -compare (0 disables)")
 	statsGate := fs.Float64("stats-gate", 0, "fail if the search/stats workloads exceed their search/stress partners' ns/op by more than this percent (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -41,7 +45,10 @@ func bench(args []string) error {
 		if err := fs.Parse(rest[1:]); err != nil {
 			return err
 		}
-		return benchCompare(*compareOld, newPath, *tolerance)
+		return benchCompare(*compareOld, newPath, benchkit.Tolerances{
+			TimePct:  *tolerance,
+			AllocPct: *allocTolerance,
+		})
 	}
 
 	rep, err := benchkit.Run(benchkit.Options{
@@ -110,7 +117,7 @@ func gateStatsOverhead(rep *benchkit.Report, pct float64) error {
 	return nil
 }
 
-func benchCompare(oldPath, newPath string, tolerance float64) error {
+func benchCompare(oldPath, newPath string, tol benchkit.Tolerances) error {
 	old, err := benchkit.Load(oldPath)
 	if err != nil {
 		return err
@@ -119,14 +126,22 @@ func benchCompare(oldPath, newPath string, tolerance float64) error {
 	if err != nil {
 		return err
 	}
-	deltas, regressed := benchkit.Compare(old, cur, tolerance)
+	// Different hardware makes the time gate unreliable; say so instead of
+	// silently comparing apples against oranges.
+	if mm := old.Build.Mismatches(cur.Build); len(mm) > 0 {
+		for _, m := range mm {
+			fmt.Fprintf(os.Stderr, "bench: warning: baseline environment differs: %s\n", m)
+		}
+	}
+	deltas, regressed := benchkit.CompareWith(old, cur, tol)
 	if len(deltas) == 0 {
 		return fmt.Errorf("bench: no common workloads between %s and %s", oldPath, newPath)
 	}
 	fmt.Print(benchkit.FormatDeltas(deltas))
 	if regressed {
-		return fmt.Errorf("bench: performance regression beyond %.0f%% tolerance", tolerance)
+		return fmt.Errorf("bench: performance regression beyond tolerance (time %.0f%%, allocs %.0f%%)",
+			tol.TimePct, tol.AllocPct)
 	}
-	fmt.Printf("no regression beyond %.0f%% tolerance across %d workloads\n", tolerance, len(deltas))
+	fmt.Printf("no regression beyond tolerance across %d workloads\n", len(deltas))
 	return nil
 }

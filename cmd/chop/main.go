@@ -12,6 +12,7 @@
 //	chop advise -f spec.json  interactive advisor session (commands on stdin)
 //	chop explain -f trace.jsonl  replay a -trace file into a readable report
 //	chop bench             run the performance harness, emit/compare BENCH JSON
+//	chop profile           profile a workload with per-phase attribution, diff against a baseline
 //	chop serve             start the HTTP service plane (runs, SSE traces, /metrics)
 //	chop top               live terminal dashboard over a serve instance or a -stats-out file
 //	chop version           print the binary's build identity
@@ -67,6 +68,8 @@ func main() {
 		err = experiment(2, os.Args[2:])
 	case "bench":
 		err = bench(os.Args[2:])
+	case "profile":
+		err = profile(os.Args[2:])
 	case "graph":
 		err = graph(os.Args[2:])
 	case "spec":
@@ -118,7 +121,11 @@ func usage() {
   synth -f spec.json   synthesize the fastest feasible design to RTL, verify it, emit Verilog
   accuracy             compare BAD predictions against bound netlists
   bench                run the performance harness (-json writes BENCH_<n>.json,
-                       -compare old.json new.json gates regressions)
+                       -compare old.json new.json gates regressions, also on
+                       allocs/op with -alloc-tolerance)
+  profile              profile one workload with per-phase time and allocation
+                       attribution (-dir writes cpu.pprof/heap.pprof/profile.json,
+                       -compare <baseline> gates allocs/op regressions)
   serve                start the HTTP service plane (-addr, -max-concurrent,
                        -queue, -ring, -grace, -predict-cache, -job-timeout,
                        -checkpoint-dir, -inject, -log-level, -log-json); submit
@@ -388,6 +395,11 @@ func (o *obsFlags) attach(cfg *core.Config) (func() error, error) {
 			return nil, err
 		}
 		cfg.Stats = obs.NewRunStats(o.fs.Name())
+		// Phase accounting rides along with the stats series: the search
+		// attaches the accounter to the run stats, so every sampled snapshot
+		// (and the final one) carries the per-phase breakdown chop top and
+		// chop explain -stats render.
+		cfg.Phases = obs.NewPhaseAccounter()
 		snap = obs.NewSnapshotter(obs.SnapshotterOptions{
 			Metrics: m, Stats: cfg.Stats, Out: statsFile,
 		})

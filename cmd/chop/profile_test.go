@@ -1,0 +1,48 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chop/internal/benchkit"
+)
+
+// TestProfileCompareGateCLI drives the documented workflow end to end on
+// the search workload: record a baseline, gate a clean re-run against it
+// (must pass), then shrink the baseline's allocation budget so the re-run
+// reads as a >= 10% allocs/op regression (must fail non-zero).
+func TestProfileCompareGateCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-measures the search workload twice")
+	}
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline")
+	if err := profile([]string{"-short", "-dir", base}); err != nil {
+		t.Fatalf("recording baseline: %v", err)
+	}
+	if err := profile([]string{"-short", "-compare", base}); err != nil {
+		t.Fatalf("clean re-run against own baseline failed: %v", err)
+	}
+
+	// Inject the regression by tightening the committed budget: a baseline
+	// claiming 15% fewer allocs makes the unchanged code read as regressed.
+	rep, err := benchkit.LoadProfile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.AllocsPerOp *= 0.85
+	if err := rep.Save(filepath.Join(base, benchkit.ProfileFileName)); err != nil {
+		t.Fatal(err)
+	}
+	err = profile([]string{"-short", "-compare", base})
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("injected allocs/op regression not gated, got %v", err)
+	}
+}
+
+func TestProfileUnknownWorkloadCLI(t *testing.T) {
+	if err := profile([]string{"-workload", "no/such"}); err == nil {
+		t.Fatal("want error for unknown workload")
+	}
+}

@@ -287,6 +287,14 @@ func renderSnapshot(sn obs.RunStatsSnapshot) string {
 		fmt.Fprintf(&b, "ckpt     %d saves, lag %d shard(s), last %.1fs ago\n",
 			sn.CheckpointSaves, sn.CheckpointLag, sn.CheckpointAgeSec)
 	}
+	if sn.Phases != nil && len(sn.Phases.Phases) > 0 {
+		parts := make([]string, 0, len(sn.Phases.Phases))
+		for _, p := range sn.Phases.Phases {
+			parts = append(parts, fmt.Sprintf("%s %.0f%%", p.Phase, p.TimePct))
+		}
+		fmt.Fprintf(&b, "phases   %s (%.0f%% of trial time attributed)\n",
+			strings.Join(parts, "  "), sn.Phases.CoveragePct)
+	}
 	if len(sn.ShardTable) > 0 {
 		fmt.Fprintf(&b, "\n  %5s  %-8s %12s %10s %8s  %s\n",
 			"shard", "state", "trials", "rate/s", "eta", "")

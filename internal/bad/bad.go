@@ -153,6 +153,12 @@ type Config struct {
 	// the "bad.predict" site on entry and fails, panics or stalls on
 	// demand (chaos testing). Nil is inert.
 	Inject *resilience.Injector
+	// Phases, when non-nil, books Predict's cost into the profiling
+	// plane: cache key computation + probing as the cache-lookup phase,
+	// the design-space sweep itself as the predict phase (cache misses
+	// only — hits never reach the sweep). Core sets it to the run
+	// accounter's global handle.
+	Phases *obs.PhaseHandle
 }
 
 // Design is one predicted implementation of a partition.
@@ -250,8 +256,11 @@ func Predict(g *dfg.Graph, cfg Config) (Result, error) {
 	}
 	var cacheKey string
 	if cfg.Cache != nil {
+		ctok := cfg.Phases.Begin()
 		cacheKey = CacheKey(g, cfg)
-		if r, ok := cfg.Cache.Get(cacheKey); ok {
+		r, ok := cfg.Cache.Get(cacheKey)
+		cfg.Phases.End(ctok, obs.PhaseCacheLookup)
+		if ok {
 			cfg.Metrics.Inc("bad.predict_cache_hit")
 			if cfg.Span != nil {
 				cfg.Span.Point("predict-cache", obs.F("hit", true))
@@ -260,6 +269,8 @@ func Predict(g *dfg.Graph, cfg Config) (Result, error) {
 		}
 		cfg.Metrics.Inc("bad.predict_cache_miss")
 	}
+	ptok := cfg.Phases.Begin()
+	defer cfg.Phases.End(ptok, obs.PhasePredict)
 	var ops []dfg.Op
 	for op := range g.OpCounts() {
 		ops = append(ops, op)

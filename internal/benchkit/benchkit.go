@@ -22,7 +22,17 @@ import (
 
 // SchemaVersion identifies the report layout. Bump the trailing number on
 // breaking changes; Load rejects reports from a different major family.
-const SchemaVersion = "chop-bench/1"
+// chop-bench/2 added the build-environment block; /1 reports are a strict
+// structural subset and still load (see knownSchemas).
+const SchemaVersion = "chop-bench/2"
+
+// knownSchemas lists the report versions Load accepts: the current one
+// plus older versions whose fields are a subset of the current layout, so
+// committed baselines keep gating across harness upgrades.
+var knownSchemas = map[string]bool{
+	"chop-bench/1": true,
+	"chop-bench/2": true,
+}
 
 // Result is the measurement of one workload.
 type Result struct {
@@ -37,16 +47,60 @@ type Result struct {
 	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
+// BuildEnv records the build and hardware environment a report was
+// measured on, so Compare can warn when a baseline comes from different
+// hardware instead of silently gating apples against oranges.
+type BuildEnv struct {
+	GoVersion  string `json:"go_version"`
+	Revision   string `json:"revision,omitempty"`
+	Dirty      bool   `json:"dirty,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// ReadBuildEnv captures the current process's build environment.
+func ReadBuildEnv() *BuildEnv {
+	bi := obs.ReadBuildInfo()
+	return &BuildEnv{
+		GoVersion:  bi.GoVersion,
+		Revision:   bi.Revision,
+		Dirty:      bi.Dirty,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// Mismatches compares two build environments and describes every
+// difference that makes their measurements hard to compare. Nil receivers
+// (old chop-bench/1 reports) yield a single "no build info" note.
+func (e *BuildEnv) Mismatches(other *BuildEnv) []string {
+	if e == nil || other == nil {
+		return []string{"baseline predates build-info recording (chop-bench/1); environment unknown"}
+	}
+	var out []string
+	if e.GoVersion != other.GoVersion {
+		out = append(out, fmt.Sprintf("go version %s vs %s", e.GoVersion, other.GoVersion))
+	}
+	if e.GOMAXPROCS != other.GOMAXPROCS {
+		out = append(out, fmt.Sprintf("GOMAXPROCS %d vs %d", e.GOMAXPROCS, other.GOMAXPROCS))
+	}
+	if e.NumCPU != other.NumCPU {
+		out = append(out, fmt.Sprintf("%d vs %d CPUs", e.NumCPU, other.NumCPU))
+	}
+	return out
+}
+
 // Report is one full harness run.
 type Report struct {
-	Schema    string   `json:"schema"`
-	Created   string   `json:"created"` // RFC 3339, UTC
-	Go        string   `json:"go"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	Short     bool     `json:"short"`
-	PeakRSS   int64    `json:"peak_rss_bytes,omitempty"`
-	Workloads []Result `json:"workloads"`
+	Schema    string    `json:"schema"`
+	Created   string    `json:"created"` // RFC 3339, UTC
+	Go        string    `json:"go"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	Short     bool      `json:"short"`
+	Build     *BuildEnv `json:"build,omitempty"`
+	PeakRSS   int64     `json:"peak_rss_bytes,omitempty"`
+	Workloads []Result  `json:"workloads"`
 }
 
 // Options parameterizes Run.
@@ -90,6 +144,7 @@ func Run(opts Options) (*Report, error) {
 		GOOS:    runtime.GOOS,
 		GOARCH:  runtime.GOARCH,
 		Short:   opts.Short,
+		Build:   ReadBuildEnv(),
 	}
 	for _, w := range Workloads() {
 		if opts.Filter != "" && !strings.Contains(w.Name, opts.Filter) {

@@ -14,7 +14,23 @@ type Delta struct {
 	OldNs      float64
 	NewNs      float64
 	Pct        float64 // (new-old)/old, percent; positive = slower
-	Regression bool    // Pct >= the tolerance passed to Compare
+	Regression bool    // Pct >= the time tolerance
+	// Allocation budget comparison (gated when Tolerances.AllocPct > 0).
+	OldAllocs       float64
+	NewAllocs       float64
+	AllocPct        float64 // allocs/op growth, percent
+	AllocRegression bool    // AllocPct >= the alloc tolerance
+}
+
+// Tolerances bounds how much a workload may regress before CompareWith
+// flags it. A non-positive field disables that gate.
+type Tolerances struct {
+	// TimePct is the allowed ns/op growth in percent.
+	TimePct float64
+	// AllocPct is the allowed allocs/op growth in percent. Allocation
+	// counts are far less noisy than wall time, so this gate can run
+	// tighter than the time gate.
+	AllocPct float64
 }
 
 // Compare matches workloads by name and flags every one whose ns/op grew
@@ -22,6 +38,13 @@ type Delta struct {
 // are skipped (the harness evolves; renames must not fail CI). The second
 // return value reports whether any regression was found.
 func Compare(old, cur *Report, tolerancePct float64) ([]Delta, bool) {
+	return CompareWith(old, cur, Tolerances{TimePct: tolerancePct})
+}
+
+// CompareWith is Compare with the full tolerance set: ns/op against
+// TimePct and allocs/op against AllocPct, each gate active only when its
+// tolerance is positive.
+func CompareWith(old, cur *Report, tol Tolerances) ([]Delta, bool) {
 	oldByName := make(map[string]Result, len(old.Workloads))
 	for _, w := range old.Workloads {
 		oldByName[w.Name] = w
@@ -34,13 +57,23 @@ func Compare(old, cur *Report, tolerancePct float64) ([]Delta, bool) {
 			continue
 		}
 		d := Delta{
-			Name:  w.Name,
-			OldNs: o.NsPerOp,
-			NewNs: w.NsPerOp,
-			Pct:   (w.NsPerOp - o.NsPerOp) / o.NsPerOp * 100,
+			Name:      w.Name,
+			OldNs:     o.NsPerOp,
+			NewNs:     w.NsPerOp,
+			Pct:       (w.NsPerOp - o.NsPerOp) / o.NsPerOp * 100,
+			OldAllocs: o.AllocsPerOp,
+			NewAllocs: w.AllocsPerOp,
 		}
-		d.Regression = d.Pct >= tolerancePct
-		regressed = regressed || d.Regression
+		if tol.TimePct > 0 {
+			d.Regression = d.Pct >= tol.TimePct
+		}
+		if o.AllocsPerOp > 0 {
+			d.AllocPct = (w.AllocsPerOp - o.AllocsPerOp) / o.AllocsPerOp * 100
+			if tol.AllocPct > 0 {
+				d.AllocRegression = d.AllocPct >= tol.AllocPct
+			}
+		}
+		regressed = regressed || d.Regression || d.AllocRegression
 		deltas = append(deltas, d)
 	}
 	return deltas, regressed
@@ -50,14 +83,18 @@ func Compare(old, cur *Report, tolerancePct float64) ([]Delta, bool) {
 // in report order for stable diffs, flagging regressions.
 func FormatDeltas(deltas []Delta) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-24s %12s %12s %8s\n", "workload", "old ms/op", "new ms/op", "delta")
+	fmt.Fprintf(&b, "%-24s %12s %12s %8s %14s %8s\n",
+		"workload", "old ms/op", "new ms/op", "delta", "allocs/op", "delta")
 	for _, d := range deltas {
 		flag := ""
 		if d.Regression {
-			flag = "  REGRESSION"
+			flag = "  REGRESSION(time)"
 		}
-		fmt.Fprintf(&b, "%-24s %12.3f %12.3f %+7.1f%%%s\n",
-			d.Name, d.OldNs/1e6, d.NewNs/1e6, d.Pct, flag)
+		if d.AllocRegression {
+			flag += "  REGRESSION(allocs)"
+		}
+		fmt.Fprintf(&b, "%-24s %12.3f %12.3f %+7.1f%% %14.0f %+7.1f%%%s\n",
+			d.Name, d.OldNs/1e6, d.NewNs/1e6, d.Pct, d.NewAllocs, d.AllocPct, flag)
 	}
 	return b.String()
 }
@@ -81,7 +118,7 @@ func Load(path string) (*Report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if r.Schema != SchemaVersion {
+	if !knownSchemas[r.Schema] {
 		return nil, fmt.Errorf("%s: schema %q, this harness speaks %q", path, r.Schema, SchemaVersion)
 	}
 	return &r, nil

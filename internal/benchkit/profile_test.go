@@ -1,0 +1,156 @@
+package benchkit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runQuickProfile measures the named workload with the smallest budget the
+// harness allows, writing artifacts into dir when non-empty.
+func runQuickProfile(t *testing.T, name, dir string) *ProfileReport {
+	t.Helper()
+	rep, err := RunProfile(ProfileOptions{
+		Workload: name,
+		Dir:      dir,
+		MinTime:  time.Millisecond,
+		MaxIters: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestProfileSearchCoverage is the attribution acceptance gate: on the
+// search workload the named phases must account for at least 95% of the
+// measured trial wall time.
+func TestProfileSearchCoverage(t *testing.T) {
+	rep := runQuickProfile(t, DefaultProfileWorkload, "")
+	if rep.CoveragePct < 95 {
+		t.Fatalf("phase coverage = %.1f%%, want >= 95%% of trial wall time", rep.CoveragePct)
+	}
+	if rep.AllocsPerOp <= 0 {
+		t.Fatalf("allocs/op = %v, want > 0 (alloc mode on)", rep.AllocsPerOp)
+	}
+	// The stress search runs over precomputed predictions, so the profile
+	// shows only the in-trial phases (predict shows up on graph workloads,
+	// which run the full predict-then-search pipeline).
+	want := map[string]bool{"schedule": false, "xfer": false, "integrate": false}
+	for _, p := range rep.Phases {
+		if _, ok := want[p.Phase]; ok {
+			want[p.Phase] = true
+		}
+	}
+	for phase, seen := range want {
+		if !seen {
+			t.Fatalf("phase %q missing from report: %+v", phase, rep.Phases)
+		}
+	}
+}
+
+// TestProfileArtifacts: a -dir run leaves cpu.pprof, heap.pprof and a
+// loadable profile.json behind.
+func TestProfileArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	rep := runQuickProfile(t, "graph/ar/p2", dir)
+	for _, f := range []string{"cpu.pprof", "heap.pprof", ProfileFileName} {
+		if st, err := os.Stat(filepath.Join(dir, f)); err != nil || st.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty (err=%v)", f, err)
+		}
+	}
+	// LoadProfile accepts the directory as well as the file.
+	loaded, err := LoadProfile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Workload != rep.Workload || loaded.Iters != rep.Iters {
+		t.Fatalf("roundtrip mismatch: saved %+v, loaded %+v", rep, loaded)
+	}
+	// The graph workload runs the full predict-then-search pipeline, so
+	// the out-of-trial predict phase must be attributed too.
+	found := false
+	for _, p := range rep.Phases {
+		if p.Phase == "predict" && p.NsPerOp > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no predict phase on the full-pipeline workload: %+v", rep.Phases)
+	}
+}
+
+// TestProfileCompareGate is the regression-gate acceptance test: an
+// injected >= 10% allocs/op regression must flag, while a clean re-run of
+// the same workload against the same baseline must pass (allocation counts
+// are near-deterministic in a serial run).
+func TestProfileCompareGate(t *testing.T) {
+	base := runQuickProfile(t, "graph/ar/p2", "")
+	rerun := runQuickProfile(t, "graph/ar/p2", "")
+
+	tol := Tolerances{AllocPct: 10}
+	if _, regressed, err := CompareProfiles(base, rerun, tol); err != nil || regressed {
+		t.Fatalf("clean re-run flagged as regression (err=%v)", err)
+	}
+
+	injected := *rerun
+	injected.AllocsPerOp = base.AllocsPerOp * 1.15
+	d, regressed, err := CompareProfiles(base, &injected, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed || !d.AllocRegression {
+		t.Fatalf("15%% allocs/op inflation not flagged: %+v", d)
+	}
+	if d.TimeRegression {
+		t.Fatalf("time gate fired although TimePct tolerance is off: %+v", d)
+	}
+}
+
+func TestProfileCompareRejectsWorkloadMismatch(t *testing.T) {
+	a := &ProfileReport{Workload: "graph/ar/p2"}
+	b := &ProfileReport{Workload: "search/stress/w1"}
+	if _, _, err := CompareProfiles(a, b, Tolerances{}); err == nil {
+		t.Fatal("want error comparing different workloads")
+	}
+}
+
+func TestLoadProfileRejectsForeignSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profile.json")
+	r := &ProfileReport{Schema: "chop-profile/999", Workload: "x"}
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProfile(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("foreign schema not rejected: %v", err)
+	}
+}
+
+// TestProfileUnknownWorkload: the error names the profiled workloads so
+// the flag is discoverable.
+func TestProfileUnknownWorkload(t *testing.T) {
+	_, err := RunProfile(ProfileOptions{Workload: "no/such/workload"})
+	if err == nil || !strings.Contains(err.Error(), DefaultProfileWorkload) {
+		t.Fatalf("unknown-workload error should list profiled workloads, got %v", err)
+	}
+}
+
+// TestBuildEnvMismatches covers the hardware-drift warning paths.
+func TestBuildEnvMismatches(t *testing.T) {
+	cur := ReadBuildEnv()
+	if mm := cur.Mismatches(cur); len(mm) != 0 {
+		t.Fatalf("identical environments mismatch: %v", mm)
+	}
+	other := *cur
+	other.NumCPU++
+	other.GoVersion = "go0.0"
+	if mm := cur.Mismatches(&other); len(mm) != 2 {
+		t.Fatalf("want 2 mismatches, got %v", mm)
+	}
+	var nilEnv *BuildEnv
+	if mm := nilEnv.Mismatches(cur); len(mm) != 1 || !strings.Contains(mm[0], "chop-bench/1") {
+		t.Fatalf("nil baseline note wrong: %v", mm)
+	}
+}

@@ -25,6 +25,13 @@ type Workload struct {
 	// calibration passes and is nil during timed iterations, so metrics
 	// overhead never pollutes ns/op.
 	Run func(m *obs.Metrics) error
+	// ProfiledRun, when non-nil, executes one iteration serially
+	// (Workers = 1) with the phase accounter attached, so `chop profile`
+	// can attribute the iteration's cost to phases. The serial run is a
+	// requirement, not a convenience: per-phase allocation deltas read
+	// process-wide heap counters and are only attributable when a single
+	// goroutine does the allocating.
+	ProfiledRun func(pa *obs.PhaseAccounter) error
 }
 
 // Workloads returns the harness's workload set: the paper's two
@@ -50,18 +57,22 @@ func Workloads() []Workload {
 		{"graph/diffeq/p2", func() *dfg.Graph { return dfg.DiffEq(16) }, 2},
 		{"stress/layered120/p3", func() *dfg.Graph { return StressDFG(6, 20, 16) }, 3},
 	} {
-		ws = append(ws, Workload{Name: gw.name, Run: graphRun(gw.build, gw.parts)})
+		ws = append(ws, Workload{
+			Name:        gw.name,
+			Run:         graphRun(gw.build, gw.parts),
+			ProfiledRun: graphProfiled(gw.build, gw.parts),
+		})
 	}
 	// Serial-vs-parallel search on one shared stress problem (predictions
 	// precomputed, so only the search stage is timed): the w4/w1 ratio in
 	// a BENCH report is the parallel engine's speedup.
 	ws = append(ws,
-		Workload{Name: "search/stress/w1", Run: stressSearchRun(1)},
+		Workload{Name: "search/stress/w1", Run: stressSearchRun(1), ProfiledRun: stressSearchProfiled()},
 		Workload{Name: "search/stress/w4", Run: stressSearchRun(4)},
 		// The same searches with checkpointing on: the ckpt/stress ratio
 		// at equal worker count is the durability tax (expected < 2% — one
 		// JSON snapshot per completed shard against thousands of trials).
-		Workload{Name: "search/ckpt/w1", Run: checkpointSearchRun(1)},
+		Workload{Name: "search/ckpt/w1", Run: checkpointSearchRun(1), ProfiledRun: checkpointSearchProfiled()},
 		Workload{Name: "search/ckpt/w4", Run: checkpointSearchRun(4)},
 		// The same searches with the telemetry plane on (RunStats fold plus
 		// a fast-sampling Snapshotter): the stats/stress ratio at equal
@@ -131,6 +142,38 @@ func stressSearchRun(workers int) func(*obs.Metrics) error {
 		cfg := stressProblem.cfg
 		cfg.Workers = workers
 		cfg.Metrics = m
+		_, err := core.Search(stressProblem.p, cfg, stressProblem.preds, core.Enumeration)
+		return err
+	}
+}
+
+// stressSearchProfiled is the stress search with phase attribution: one
+// serial iteration with the accounter wired into the engine, the target
+// of the `chop profile` default workload.
+func stressSearchProfiled() func(*obs.PhaseAccounter) error {
+	return func(pa *obs.PhaseAccounter) error {
+		if err := ensureStressProblem(); err != nil {
+			return err
+		}
+		cfg := stressProblem.cfg
+		cfg.Workers = 1
+		cfg.Phases = pa
+		_, err := core.Search(stressProblem.p, cfg, stressProblem.preds, core.Enumeration)
+		return err
+	}
+}
+
+// checkpointSearchProfiled is the checkpointed search under phase
+// attribution, surfacing the checkpoint phase next to the trial phases.
+func checkpointSearchProfiled() func(*obs.PhaseAccounter) error {
+	return func(pa *obs.PhaseAccounter) error {
+		if err := ensureStressProblem(); err != nil {
+			return err
+		}
+		cfg := stressProblem.cfg
+		cfg.Workers = 1
+		cfg.Phases = pa
+		cfg.CheckpointPath = filepath.Join(os.TempDir(), "chop-profile-ckpt-w1.json")
 		_, err := core.Search(stressProblem.p, cfg, stressProblem.preds, core.Enumeration)
 		return err
 	}
@@ -222,7 +265,16 @@ func expResults(n int) func(*obs.Metrics) error {
 // instead of pruning everything at level 1. The extended library covers
 // ops (cmp, sub, div) absent from the paper's Table 1.
 func graphRun(build func() *dfg.Graph, parts int) func(*obs.Metrics) error {
+	run := graphRunCfg(build, parts)
 	return func(m *obs.Metrics) error {
+		return run(m, nil)
+	}
+}
+
+// graphRunCfg is the shared body of graphRun and graphProfiled: one full
+// predict+search iteration with optional metrics and phase accounting.
+func graphRunCfg(build func() *dfg.Graph, parts int) func(*obs.Metrics, *obs.PhaseAccounter) error {
+	return func(m *obs.Metrics, pa *obs.PhaseAccounter) error {
 		g := build()
 		p := &core.Partitioning{
 			Graph:    g,
@@ -241,9 +293,20 @@ func graphRun(build func() *dfg.Graph, parts int) func(*obs.Metrics) error {
 				Delay: stats.Constraint{Bound: 90000, MinProb: 0.8},
 			},
 			Metrics: m,
+			Phases:  pa,
 		}
 		_, _, err := core.Run(p, cfg, core.Iterative)
 		return err
+	}
+}
+
+// graphProfiled runs the same predict+search pipeline serially with a
+// phase accounter attached, so profiled graph workloads attribute the
+// prediction stage (and its cache lookups) alongside the trial phases.
+func graphProfiled(build func() *dfg.Graph, parts int) func(*obs.PhaseAccounter) error {
+	run := graphRunCfg(build, parts)
+	return func(pa *obs.PhaseAccounter) error {
+		return run(nil, pa)
 	}
 }
 

@@ -221,6 +221,12 @@ func (c *checkpointer) finish() {
 // checkpoint durability is best-effort by design. Runs without the mutex;
 // trySave guarantees a single writer at a time.
 func (c *checkpointer) save(snap searchCheckpoint) {
+	// Checkpoint I/O is booked on the accounter's global cell: the writer
+	// is an elected worker goroutine, but the cost belongs to the
+	// checkpoint phase, not to whichever shard drew the short straw.
+	ph := c.cfg.Phases.Global()
+	tok := ph.Begin()
+	defer ph.End(tok, obs.PhaseCheckpoint)
 	err := resilience.Retry(c.cfg.Ctx, resilience.RetryPolicy{
 		Attempts: 3, BaseDelay: 5 * time.Millisecond, Seed: 1,
 	}, func() error {

@@ -208,22 +208,26 @@ func selectionOK(d bad.Design, l int, clocks bad.Clocks) bool {
 
 // evalTrial wraps integrate with per-trial observability: a child span, a
 // "trial" point event carrying the feasibility outcome, the rejection
-// reason and its chip attribution, metrics counters/latency, and the
-// shard's live stats cell (trial counters plus slow-trial exemplars). With
-// tracing, metrics and stats all disabled it adds only three nil checks,
-// so the search hot path is unaffected by default.
-func (it *integrator) evalTrial(sp *obs.Span, ss *obs.ShardStats, choice []bad.Design, l int) (GlobalDesign, error) {
+// reason and its chip attribution, metrics counters/latency, the shard's
+// live stats cell (trial counters plus slow-trial exemplars), and the
+// shard's phase cell (whole-trial bracket whose unattributed remainder
+// books as the integrate phase). With tracing, metrics, stats and phases
+// all disabled it adds only four nil checks, so the search hot path is
+// unaffected by default.
+func (it *integrator) evalTrial(sp *obs.Span, ss *obs.ShardStats, ph *obs.PhaseHandle, choice []bad.Design, l int) (GlobalDesign, error) {
 	if err := it.cfg.Inject.Fire("core.trial"); err != nil {
 		return GlobalDesign{}, err
 	}
 	m := it.cfg.Metrics
-	if sp == nil && m == nil && ss == nil {
-		return it.integrate(choice, l)
+	if sp == nil && m == nil && ss == nil && ph == nil {
+		return it.integrate(choice, l, nil)
 	}
 	tsp := sp.Child("integrate", obs.F("ii", l))
+	ptok := ph.BeginTrial()
 	t0 := time.Now()
-	g, err := it.integrate(choice, l)
+	g, err := it.integrate(choice, l, ph)
 	elapsed := time.Since(t0)
+	ph.EndTrial(ptok)
 	tsp.End(obs.F("feasible", g.Feasible), obs.F("reason", g.ReasonCode.String()))
 	if ss != nil {
 		reason := ""
@@ -263,8 +267,8 @@ func (it *integrator) evalTrial(sp *obs.Span, ss *obs.ShardStats, choice []bad.D
 // fails only on chip area — wide buses cost pad area — the combination is
 // re-evaluated with the narrow word-parallel bus (cfg.MaxBusPins), the
 // smarter pin allocation the paper's footnote 1 anticipates.
-func (it *integrator) integrate(choice []bad.Design, l int) (GlobalDesign, error) {
-	g, err := it.integrateBus(choice, l, 0)
+func (it *integrator) integrate(choice []bad.Design, l int, ph *obs.PhaseHandle) (GlobalDesign, error) {
+	g, err := it.integrateBus(choice, l, 0, ph)
 	if err != nil || g.Feasible || len(g.AreaViolations) == 0 {
 		return g, err
 	}
@@ -272,7 +276,7 @@ func (it *integrator) integrate(choice []bad.Design, l int) (GlobalDesign, error
 	if narrow <= 0 {
 		narrow = defaultBusPins
 	}
-	g2, err := it.integrateBus(choice, l, narrow)
+	g2, err := it.integrateBus(choice, l, narrow, ph)
 	if err != nil {
 		return g, nil
 	}
@@ -283,8 +287,10 @@ func (it *integrator) integrate(choice []bad.Design, l int) (GlobalDesign, error
 }
 
 // integrateBus is integrate at a fixed bus-width cap (0 = maximum possible
-// bandwidth).
-func (it *integrator) integrateBus(choice []bad.Design, l, busCap int) (GlobalDesign, error) {
+// bandwidth). ph brackets the schedule and xfer sections; a rejection
+// inside a bracketed section abandons the bracket, so its time falls into
+// the trial's integrate remainder instead (see PhaseHandle.EndTrial).
+func (it *integrator) integrateBus(choice []bad.Design, l, busCap int, ph *obs.PhaseHandle) (GlobalDesign, error) {
 	p, cfg := it.p, it.cfg
 	g := GlobalDesign{Choice: choice, IIMain: l, ReasonChip: -1}
 	// infeasible finalizes a rejection: chip is the 0-based chip the
@@ -313,6 +319,7 @@ func (it *integrator) integrateBus(choice []bad.Design, l, busCap int) (GlobalDe
 	// narrows to the fewest pins sustaining its transfer time so pads are
 	// not wasted.
 	type tinfo struct{ pins, xferMain int }
+	xtok := ph.Begin()
 	tis := make([]tinfo, len(it.tasks))
 	for i, t := range it.tasks {
 		bwMax := xfer.Bandwidth(t, it.budget)
@@ -349,6 +356,7 @@ func (it *integrator) integrateBus(choice []bad.Design, l, busCap int) (GlobalDe
 		}
 		tis[i] = tinfo{pins: pins, xferMain: xm}
 	}
+	ph.End(xtok, obs.PhaseXfer)
 	// Steady-state pin capacity per chip: the pin-cycles demanded per
 	// interval must fit the budget.
 	for ci := range p.Chips.Chips {
@@ -424,7 +432,9 @@ func (it *integrator) integrateBus(choice []bad.Design, l, busCap int) (GlobalDe
 		}
 		utasks[nP+i] = ut
 	}
+	stok := ph.Begin()
 	sres, sstats, err := urgency.ScheduleStats(utasks, caps)
+	ph.End(stok, obs.PhaseSchedule)
 	if err != nil {
 		return infeasible(ReasonSchedule, -1, "task scheduling failed: %v", err)
 	}
@@ -442,6 +452,7 @@ func (it *integrator) integrateBus(choice []bad.Design, l, busCap int) (GlobalDe
 	}
 
 	// ---- transfer modules (buffer sizing from wait + transfer times) ----
+	xtok = ph.Begin()
 	g.Modules = make([]xfer.Module, len(it.tasks))
 	maxModCtrl := stats.Triplet{}
 	for i, t := range it.tasks {
@@ -464,6 +475,7 @@ func (it *integrator) integrateBus(choice []bad.Design, l, busCap int) (GlobalDe
 		g.Modules[i] = m
 		maxModCtrl = maxModCtrl.Max(m.CtrlDelay)
 	}
+	ph.End(xtok, obs.PhaseXfer)
 
 	// ---- per-chip area and pins ----
 	g.ChipArea = make([]stats.Triplet, len(p.Chips.Chips))
@@ -570,7 +582,7 @@ func NewDebugIntegrator(p *Partitioning, cfg Config) *DebugIntegrator {
 
 // Eval runs one integration.
 func (d *DebugIntegrator) Eval(choice []bad.Design, l int) GlobalDesign {
-	g, err := d.it.integrate(choice, l)
+	g, err := d.it.integrate(choice, l, nil)
 	if err != nil {
 		panic(err)
 	}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -95,7 +97,13 @@ var errShardInterrupted = errors.New("core: shard interrupted")
 func runShard(cfg Config, out *shardOut, aborted *atomic.Bool, cp *checkpointer,
 	ss *obs.ShardStats, si int, body func() error) (stop bool) {
 
-	err := resilience.Guard("core.search", body)
+	// The shard label refines the search-level run/phase labels, so a CPU
+	// profile attributes samples to individual shards. One label set per
+	// shard, invisible next to the shard's trial work.
+	var err error
+	obs.DoLabeled(cfg.Ctx, func(context.Context) {
+		err = resilience.Guard("core.search", body)
+	}, "shard", strconv.Itoa(si))
 	if err == errShardInterrupted {
 		return true
 	}
@@ -142,6 +150,7 @@ func enumerateParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs
 	}
 	outs := make([]shardOut, shards)
 	cfg.Stats.StartSearch(shards, int64(total))
+	cfg.Phases.StartSearch(shards)
 	cp, skip, err := newCheckpointer(it.p, cfg, Enumeration, lists, shards, total, outs, sp)
 	if err != nil {
 		return SearchResult{Heuristic: Enumeration}, err
@@ -166,6 +175,7 @@ func enumerateParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs
 				}
 				out := &outs[si]
 				ss := cfg.Stats.ShardStats(si)
+				ph := cfg.Phases.Shard(si)
 				stop := runShard(cfg, out, &aborted, cp, ss, si, func() error {
 					lo, hi := shardRange(total, shards, si)
 					ss.Start(int64(hi - lo))
@@ -177,7 +187,7 @@ func enumerateParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs
 						if aborted.Load() {
 							return errShardInterrupted
 						}
-						if err := enumTrial(it, cfg, &out.res, lists, idx, choice, sp, ss); err != nil {
+						if err := enumTrial(it, cfg, &out.res, lists, idx, choice, sp, ss, ph); err != nil {
 							return err
 						}
 						advanceOdometer(idx, lists)
@@ -223,6 +233,7 @@ func iterativeParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs
 	}
 	outs := make([]shardOut, len(intervals))
 	cfg.Stats.StartSearch(len(intervals), 0)
+	cfg.Phases.StartSearch(len(intervals))
 	cp, skip, err := newCheckpointer(it.p, cfg, Iterative, lists, len(intervals), len(intervals), outs, sp)
 	if err != nil {
 		return SearchResult{Heuristic: Iterative}, err
@@ -247,7 +258,8 @@ func iterativeParallel(it *integrator, cfg Config, lists [][]bad.Design, sp *obs
 				ss := cfg.Stats.ShardStats(si)
 				stop := runShard(cfg, out, &aborted, cp, ss, si, func() error {
 					ss.Start(0)
-					return iterativeInterval(it, cfg, lists, intervals[si], &out.res, sp, ss)
+					return iterativeInterval(it, cfg, lists, intervals[si], &out.res, sp, ss,
+						cfg.Phases.Shard(si))
 				})
 				if stop {
 					return

@@ -266,6 +266,13 @@ type Config struct {
 	// Stats never influence the search: results with stats attached are
 	// byte-identical to results without.
 	Stats *obs.RunStats
+	// Phases, when non-nil, attributes trial cost to named phases
+	// (predict, cache-lookup, schedule, xfer, integrate, checkpoint):
+	// wall time always, allocation deltas when the accounter runs in
+	// alloc mode (`chop profile`, Workers=1 only). Like Stats, phase
+	// accounting never influences the search — results with phases
+	// attached are byte-identical to results without.
+	Phases *obs.PhaseAccounter
 }
 
 // defaultBusPins is two 16-bit datapath words.
@@ -293,6 +300,7 @@ func (c Config) badConfig(chips chip.Set) bad.Config {
 		Metrics: c.Metrics,
 		Cache:   c.PredictCache,
 		Inject:  c.Inject,
+		Phases:  c.Phases.Global(),
 	}
 }
 
@@ -348,12 +356,16 @@ func predictPartitions(p *Partitioning, cfg Config, parent *obs.Span) ([]bad.Res
 		bc.Span = psp
 		// Panic isolation: a predictor blowing up on one partition fails
 		// the run with a structured error instead of killing the process.
+		// The pprof label slices CPU profiles by the prediction stage.
 		var r bad.Result
-		err := resilience.Guard("bad.predict", func() error {
-			var perr error
-			r, perr = bad.Predict(sub, bc)
-			return perr
-		})
+		var err error
+		obs.DoLabeled(cfg.Ctx, func(context.Context) {
+			err = resilience.Guard("bad.predict", func() error {
+				var perr error
+				r, perr = bad.Predict(sub, bc)
+				return perr
+			})
+		}, "phase", "predict")
 		if _, panicked := resilience.IsPanic(err); panicked {
 			cfg.Metrics.Inc("resilience.panic_recovered")
 		}

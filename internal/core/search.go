@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -86,6 +87,9 @@ func search(p *Partitioning, cfg Config, preds []bad.Result, h Heuristic, parent
 		lists[i] = r.Designs
 	}
 	workers := cfg.searchWorkers()
+	// Link the phase accounter into the live stats so run snapshots carry
+	// the per-phase breakdown (first attachment wins).
+	cfg.Stats.AttachPhases(cfg.Phases)
 	// Attach the predictor-cache sampler to the live stats (first call
 	// wins, so reaching search through Run keeps Run's earlier baseline).
 	if cfg.Stats != nil && cfg.PredictCache != nil {
@@ -108,29 +112,53 @@ func search(p *Partitioning, cfg Config, preds []bad.Result, h Heuristic, parent
 	// a checkpointed serial request through it changes nothing else.
 	sharded := workers > 1 || cfg.CheckpointPath != ""
 	var res SearchResult
-	// The serial engines run on the caller's goroutine; the guard converts
-	// a panicking trial into an error here the same way runShard does for
-	// pool workers, so Search never takes down the process either way.
-	gerr := resilience.Guard("core.search", func() error {
-		var serr error
-		switch {
-		case h == Enumeration && sharded:
-			res, serr = enumerateParallel(it, cfg, lists, sp)
-		case h == Enumeration:
-			res, serr = enumerate(it, cfg, lists, sp)
-		case sharded:
-			res, serr = iterativeParallel(it, cfg, lists, sp)
-		default:
-			res, serr = iterative(it, cfg, lists, sp)
-		}
-		return serr
-	})
+	var gerr error
+	// The engine runs under run/phase pprof labels, so a CPU profile
+	// sampled during the search slices by run and stage; workers inherit
+	// the labels through cfg.Ctx. The serial engines run on the caller's
+	// goroutine; the guard converts a panicking trial into an error here
+	// the same way runShard does for pool workers, so Search never takes
+	// down the process either way.
+	obs.DoLabeled(cfg.Ctx, func(ctx context.Context) {
+		cfg.Ctx = ctx
+		gerr = resilience.Guard("core.search", func() error {
+			var serr error
+			switch {
+			case h == Enumeration && sharded:
+				res, serr = enumerateParallel(it, cfg, lists, sp)
+			case h == Enumeration:
+				res, serr = enumerate(it, cfg, lists, sp)
+			case sharded:
+				res, serr = iterativeParallel(it, cfg, lists, sp)
+			default:
+				res, serr = iterative(it, cfg, lists, sp)
+			}
+			return serr
+		})
+	}, "run", cfg.Stats.Label(), "phase", "search")
 	if _, panicked := resilience.IsPanic(gerr); panicked {
 		cfg.Metrics.Inc("resilience.panic_recovered")
 	}
+	emitPhases(cfg, sp)
 	sp.End(obs.F("trials", res.Trials), obs.F("feasible", res.FeasibleTrials),
 		obs.F("best", len(res.Best)))
 	return res, gerr
+}
+
+// emitPhases records the accounter's cumulative per-phase totals as a
+// "phases" trace point at search end, so `chop explain -stats` can replay
+// the attribution offline. Totals are cumulative across searches on one
+// accounter; replay keeps the last point per run.
+func emitPhases(cfg Config, sp *obs.Span) {
+	if cfg.Phases == nil || sp == nil {
+		return
+	}
+	snap := cfg.Phases.Snapshot()
+	fields := []obs.Field{obs.F("trialNS", snap.TrialNS), obs.F("trials", snap.Trials)}
+	for _, p := range snap.Phases {
+		fields = append(fields, obs.F(p.Phase, p.NS))
+	}
+	sp.Point("phases", fields...)
 }
 
 // Run is the convenience entry point: predict every partition with BAD,
@@ -193,17 +221,19 @@ func enumerate(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (
 		// -progress sink) can report trials as a fraction of the whole.
 		sp.Point("space", obs.F("combinations", total))
 	}
-	// The serial walk is one shard to the live stats.
+	// The serial walk is one shard to the live stats and phase accounter.
 	cfg.Stats.StartSearch(1, int64(total))
+	cfg.Phases.StartSearch(1)
 	ss := cfg.Stats.ShardStats(0)
 	ss.Start(int64(total))
+	ph := cfg.Phases.Shard(0)
 	idx := make([]int, len(lists))
 	choice := make([]bad.Design, len(lists))
 	for {
 		if err := cfg.canceled(); err != nil {
 			return res, err
 		}
-		if err := enumTrial(it, cfg, &res, lists, idx, choice, sp, ss); err != nil {
+		if err := enumTrial(it, cfg, &res, lists, idx, choice, sp, ss, ph); err != nil {
 			return res, err
 		}
 		if !advanceOdometer(idx, lists) {
@@ -220,7 +250,8 @@ func enumerate(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (
 // trial, no allocation); the evaluated choice itself is cloned before it
 // escapes into the result.
 func enumTrial(it *integrator, cfg Config, res *SearchResult,
-	lists [][]bad.Design, idx []int, choice []bad.Design, sp *obs.Span, ss *obs.ShardStats) error {
+	lists [][]bad.Design, idx []int, choice []bad.Design, sp *obs.Span,
+	ss *obs.ShardStats, ph *obs.PhaseHandle) error {
 
 	for i, j := range idx {
 		choice[i] = lists[i][j]
@@ -234,7 +265,7 @@ func enumTrial(it *integrator, cfg Config, res *SearchResult,
 		}
 	}
 	res.Trials++
-	g, err := it.evalTrial(sp, ss, cloneChoice(choice), l)
+	g, err := it.evalTrial(sp, ss, ph, cloneChoice(choice), l)
 	if err != nil {
 		return err
 	}
@@ -271,10 +302,11 @@ func iterative(it *integrator, cfg Config, lists [][]bad.Design, sp *obs.Span) (
 	// engine's shard geometry; serialization walks have no a-priori trial
 	// count, so shard totals stay unknown.
 	cfg.Stats.StartSearch(len(intervals), 0)
+	cfg.Phases.StartSearch(len(intervals))
 	for i, l := range intervals {
 		ss := cfg.Stats.ShardStats(i)
 		ss.Start(0)
-		if err := iterativeInterval(it, cfg, lists, l, &res, sp, ss); err != nil {
+		if err := iterativeInterval(it, cfg, lists, l, &res, sp, ss, cfg.Phases.Shard(i)); err != nil {
 			return res, err
 		}
 		ss.Done()
@@ -326,7 +358,7 @@ func iterativeIntervals(cfg Config, lists [][]bad.Design) []int {
 // iterativeParallel fan intervals out across workers and merge the
 // per-interval results back in interval order.
 func iterativeInterval(it *integrator, cfg Config, lists [][]bad.Design, l int,
-	res *SearchResult, sp *obs.Span, ss *obs.ShardStats) error {
+	res *SearchResult, sp *obs.Span, ss *obs.ShardStats, ph *obs.PhaseHandle) error {
 
 	// Initialize W_i to the fastest valid implementation at interval l
 	// (paper: advance each W_i until L_i >= l or W_i is non-pipelined
@@ -347,7 +379,7 @@ func iterativeInterval(it *integrator, cfg Config, lists [][]bad.Design, l int,
 			choice[i] = lists[i][w[i]]
 		}
 		res.Trials++
-		g, err := it.evalTrial(sp, ss, choice, l)
+		g, err := it.evalTrial(sp, ss, ph, choice, l)
 		if err != nil {
 			return err
 		}
@@ -375,7 +407,7 @@ func iterativeInterval(it *integrator, cfg Config, lists [][]bad.Design, l int,
 			}
 			trial[pi] = lists[pi][ni]
 			res.Trials++
-			tg, err := it.evalTrial(sp, ss, trial, l)
+			tg, err := it.evalTrial(sp, ss, ph, trial, l)
 			if err != nil {
 				return err
 			}

@@ -40,6 +40,14 @@ type Report struct {
 	// Partitions maps 1-based partition number -> kept BAD designs, from
 	// the per-partition BAD span end events.
 	Partitions map[int]int
+	// PhaseNS maps phase name -> attributed nanoseconds from the newest
+	// "phases" trace point. The search emits cumulative accounter totals,
+	// so replay keeps the last point per report instead of summing.
+	PhaseNS map[string]int64
+	// PhaseTrialNS / PhaseTrials are that point's total measured trial wall
+	// time and trial count — the denominator of the phase percentages.
+	PhaseTrialNS int64
+	PhaseTrials  int64
 	// Runs groups the same aggregation per run tag when events carry one
 	// (traces from several serve jobs multiplexed into one sink). Untagged
 	// traces leave it empty; the top-level report always covers all events.
@@ -183,6 +191,23 @@ func (r *Report) ingest(ev Event, begins map[int64]map[string]any, consume bool)
 			r.Serializations++
 		case "prune":
 			r.Pruned++
+		case "phases":
+			// Cumulative totals: a later point supersedes earlier ones.
+			r.PhaseNS = make(map[string]int64, len(ev.Fields))
+			for k := range ev.Fields {
+				n, ok := fieldInt64(ev.Fields, k)
+				if !ok {
+					continue
+				}
+				switch k {
+				case "trialNS":
+					r.PhaseTrialNS = n
+				case "trials":
+					r.PhaseTrials = n
+				default:
+					r.PhaseNS[k] = n
+				}
+			}
 		}
 	}
 }
@@ -194,6 +219,20 @@ func fieldInt(fields map[string]any, key string) (int, bool) {
 		return int(v), true
 	case int:
 		return v, true
+	}
+	return 0, false
+}
+
+// fieldInt64 is fieldInt for nanosecond-scale values (live, un-serialized
+// events carry int64 fields; replayed JSON carries float64).
+func fieldInt64(fields map[string]any, key string) (int64, bool) {
+	switch v := fields[key].(type) {
+	case float64:
+		return int64(v), true
+	case int64:
+		return v, true
+	case int:
+		return int64(v), true
 	}
 	return 0, false
 }
@@ -297,6 +336,39 @@ func (r *Report) FormatStats() string {
 	}
 	fmt.Fprintf(&b, "trials: %d examined, %d feasible, %.0f trials/s avg\n",
 		r.Trials, r.Feasible, rate)
+
+	if len(r.PhaseNS) > 0 {
+		b.WriteString("\nphase attribution (cumulative over the trace's searches):\n")
+		fmt.Fprintf(&b, "  %-14s %12s %8s\n", "phase", "total", "share")
+		var attributed int64
+		names := make([]string, 0, len(r.PhaseNS))
+		for k := range r.PhaseNS {
+			names = append(names, k)
+			attributed += r.PhaseNS[k]
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if r.PhaseNS[names[i]] != r.PhaseNS[names[j]] {
+				return r.PhaseNS[names[i]] > r.PhaseNS[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		for _, k := range names {
+			pct := 0.0
+			if attributed > 0 {
+				pct = 100 * float64(r.PhaseNS[k]) / float64(attributed)
+			}
+			fmt.Fprintf(&b, "  %-14s %12s %7.1f%%\n", k, fmtDur(r.PhaseNS[k]), pct)
+		}
+		if r.PhaseTrialNS > 0 {
+			// Coverage counts only the in-trial phases, matching
+			// PhaseSnapshot.CoveragePct (predict and checkpoint run outside
+			// the per-trial bracket).
+			inTrial := r.PhaseNS[PhaseSchedule.String()] +
+				r.PhaseNS[PhaseXfer.String()] + r.PhaseNS[PhaseIntegrate.String()]
+			fmt.Fprintf(&b, "  trial coverage: %.1f%% of %s measured trial time (%d trials)\n",
+				100*float64(inTrial)/float64(r.PhaseTrialNS), fmtDur(r.PhaseTrialNS), r.PhaseTrials)
+		}
+	}
 
 	if len(r.Runs) > 0 {
 		b.WriteString("\nper run:\n")

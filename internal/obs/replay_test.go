@@ -35,6 +35,44 @@ func traceScript(t *testing.T) *bytes.Buffer {
 	return &buf
 }
 
+// TestReplayPhasesKeepsLastPoint: the search emits cumulative accounter
+// totals in each "phases" point, so replay must keep the newest point per
+// report instead of summing, and FormatStats must render the rows.
+func TestReplayPhasesKeepsLastPoint(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewWriterSink(&buf)
+	tr := New(sink)
+	s1 := tr.Span("Search")
+	s1.Point("phases", F("trialNS", int64(1000)), F("trials", int64(2)),
+		F("schedule", int64(400)), F("integrate", int64(600)))
+	s1.End()
+	s2 := tr.Span("Search")
+	s2.Point("phases", F("trialNS", int64(3000)), F("trials", int64(6)),
+		F("schedule", int64(1200)), F("xfer", int64(300)), F("integrate", int64(1500)))
+	s2.End()
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Replay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PhaseTrialNS != 3000 || rep.PhaseTrials != 6 {
+		t.Fatalf("trial denominators = %d/%d, want 3000/6 (last point)", rep.PhaseTrialNS, rep.PhaseTrials)
+	}
+	if rep.PhaseNS["schedule"] != 1200 || rep.PhaseNS["xfer"] != 300 {
+		t.Fatalf("phase totals = %v, want the last point's values", rep.PhaseNS)
+	}
+	out := rep.FormatStats()
+	if !strings.Contains(out, "phase attribution") || !strings.Contains(out, "schedule") {
+		t.Fatalf("FormatStats misses the phase rows:\n%s", out)
+	}
+	if !strings.Contains(out, "trial coverage: 100.0%") {
+		t.Fatalf("coverage line wrong (want 3000/3000 = 100%%):\n%s", out)
+	}
+}
+
 func TestReplayAggregates(t *testing.T) {
 	rep, err := Replay(traceScript(t))
 	if err != nil {

@@ -43,6 +43,10 @@ type RunStats struct {
 	cacheStats               func() (hits, misses int64)
 	cacheHits0, cacheMisses0 int64
 
+	// phases, when attached, contributes a per-phase cost breakdown to
+	// snapshots (the profiling plane's PhaseAccounter).
+	phases *PhaseAccounter
+
 	exemplars ExemplarStore
 }
 
@@ -66,6 +70,27 @@ func NewRunStats(label string) *RunStats {
 
 // ExemplarTopK selects how many slow-trial exemplars a run retains.
 const ExemplarTopK = 8
+
+// Label returns the run label given to NewRunStats ("" on nil).
+func (s *RunStats) Label() string {
+	if s == nil {
+		return ""
+	}
+	return s.label
+}
+
+// AttachPhases links a PhaseAccounter so snapshots carry its per-phase
+// cost breakdown. The first non-nil attachment wins.
+func (s *RunStats) AttachPhases(pa *PhaseAccounter) {
+	if s == nil || pa == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.phases == nil {
+		s.phases = pa
+	}
+	s.mu.Unlock()
+}
 
 // nowNS returns nanoseconds since the stats epoch.
 func (s *RunStats) nowNS() int64 { return time.Since(s.epoch).Nanoseconds() }
@@ -253,6 +278,9 @@ type RunStatsSnapshot struct {
 	ShardTable []ShardSnapshot `json:"shardTable,omitempty"`
 	// SlowTrials are the slowest trials observed, slowest first.
 	SlowTrials []Exemplar `json:"slowTrials,omitempty"`
+	// Phases is the per-phase cost breakdown when a PhaseAccounter is
+	// attached to the run.
+	Phases *PhaseSnapshot `json:"phases,omitempty"`
 }
 
 // Done reports whether every shard has completed.
@@ -273,9 +301,11 @@ func (s *RunStats) Snapshot() RunStatsSnapshot {
 	label := s.label
 	sampleCache := s.cacheStats
 	hits0, misses0 := s.cacheHits0, s.cacheMisses0
+	phases := s.phases
 	s.mu.Unlock()
 
 	out := RunStatsSnapshot{Label: label, Total: total, Shards: len(cells)}
+	out.Phases = phases.Snapshot()
 	// Cache counters are sampled even before StartSearch: predictions — the
 	// cache's busiest phase — precede the search.
 	if sampleCache != nil {

@@ -161,6 +161,111 @@ func TestRunStatsStartSearchResets(t *testing.T) {
 	}
 }
 
+// TestRunStatsZeroTrialShards: shards that complete without examining a
+// single trial (empty sub-spaces) must report clean zeros — no rate, no
+// ETA, no division artifacts — and still count toward completion.
+func TestRunStatsZeroTrialShards(t *testing.T) {
+	s := NewRunStats("x")
+	s.StartSearch(3, 0)
+	for si := 0; si < 3; si++ {
+		h := s.ShardStats(si)
+		h.Start(0)
+		h.Done()
+	}
+	snap := s.Snapshot()
+	if !snap.Done() {
+		t.Fatalf("zero-trial shards not done: %+v", snap)
+	}
+	if snap.Trials != 0 || snap.TrialsPerSec != 0 || snap.ETASec != 0 {
+		t.Fatalf("zero-trial aggregate = %+v, want zeros", snap)
+	}
+	for _, sh := range snap.ShardTable {
+		if sh.State != "done" || sh.TrialsPerSec != 0 || sh.ETASec != 0 {
+			t.Fatalf("zero-trial shard %d = %+v", sh.Index, sh)
+		}
+	}
+}
+
+// TestRunStatsResumedShardETA: a shard restored from a checkpoint reports
+// no rate or ETA of its own (its trials were not executed in this run's
+// window), but its counters still feed the aggregate ETA math.
+func TestRunStatsResumedShardETA(t *testing.T) {
+	s := NewRunStats("x")
+	s.StartSearch(2, 20)
+	s.ShardStats(0).Restored(10, 4)
+	h1 := s.ShardStats(1)
+	h1.Start(10)
+	h1.AddTrials(5, 1)
+
+	snap := s.Snapshot()
+	resumed := snap.ShardTable[0]
+	if resumed.State != "resumed" {
+		t.Fatalf("state = %q, want resumed", resumed.State)
+	}
+	if resumed.TrialsPerSec != 0 || resumed.ETASec != 0 {
+		t.Fatalf("resumed shard reports rate/ETA: %+v", resumed)
+	}
+	if snap.Trials != 15 {
+		t.Fatalf("aggregate trials = %d, want 15 (resumed included)", snap.Trials)
+	}
+	if snap.ShardsDone != 1 {
+		t.Fatalf("shardsDone = %d, want 1 (resumed counts as done)", snap.ShardsDone)
+	}
+	// 5 trials remain of 20; the aggregate window is live, so the estimate
+	// must exist and be finite.
+	if snap.ETASec <= 0 {
+		t.Fatalf("aggregate ETA = %v, want > 0 with 5 trials remaining", snap.ETASec)
+	}
+	running := snap.ShardTable[1]
+	if running.TrialsPerSec <= 0 || running.ETASec <= 0 {
+		t.Fatalf("running shard lost its own estimate: %+v", running)
+	}
+}
+
+// TestRunStatsConcurrentExemplars races many shards inserting slow-trial
+// exemplars against snapshot readers (meaningful under -race) and checks
+// the store keeps the global top-K, slowest first.
+func TestRunStatsConcurrentExemplars(t *testing.T) {
+	s := NewRunStats("race")
+	const shards, perShard = 8, 400
+	s.StartSearch(shards, shards*perShard)
+	var wg sync.WaitGroup
+	for si := 0; si < shards; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			h := s.ShardStats(si)
+			h.Start(perShard)
+			for i := 0; i < perShard; i++ {
+				// Unique durations per (shard, i) so the expected top-K is
+				// exactly the highest values overall.
+				h.Trial(float64(si*perShard+i), i, false, "pins")
+			}
+			h.Done()
+		}(si)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			s.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	top := s.Snapshot().SlowTrials
+	if len(top) != ExemplarTopK {
+		t.Fatalf("|slowTrials| = %d, want %d", len(top), ExemplarTopK)
+	}
+	max := float64(shards*perShard - 1)
+	for i, e := range top {
+		if e.DurUS != max-float64(i) {
+			t.Fatalf("slowTrials[%d] = %v µs, want %v", i, e.DurUS, max-float64(i))
+		}
+	}
+}
+
 // TestRunStatsConcurrentPublish hammers the publication and snapshot paths
 // together (meaningful under -race).
 func TestRunStatsConcurrentPublish(t *testing.T) {

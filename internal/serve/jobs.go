@@ -81,6 +81,7 @@ func runSpec(ctx context.Context, raw json.RawMessage, jc JobContext) (core.Sear
 	prob.Config.Trace = jc.Tracer
 	prob.Config.Metrics = jc.Metrics
 	prob.Config.Stats = jc.Stats
+	prob.Config.Phases = jc.Phases
 	prob.Config.Inject = jc.Inject
 	if jc.Checkpoint != "" {
 		// Resume is unconditional: a matching snapshot from an interrupted
@@ -210,6 +211,7 @@ func expJob(n int) JobFunc {
 		e.Cfg.Trace = jc.Tracer
 		e.Cfg.Metrics = jc.Metrics
 		e.Cfg.Stats = jc.Stats
+		e.Cfg.Phases = jc.Phases
 		e.Cfg.PredictCache = jc.Cache
 		e.Cfg.Inject = jc.Inject
 		counts, err := e.PredictionCounts()

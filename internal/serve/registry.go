@@ -61,6 +61,10 @@ type JobContext struct {
 	// core.Config so the /stats endpoints and SSE stats stream can report
 	// per-shard throughput while the run executes.
 	Stats *obs.RunStats
+	// Phases is the run's phase-cost accounter: jobs wire it into
+	// core.Config so the /stats endpoints can break the run's trial time
+	// into pipeline phases (predict, schedule, xfer, integrate, ...).
+	Phases *obs.PhaseAccounter
 	// Checkpoint is the run's search-checkpoint path (empty: none). Jobs
 	// that search wire it into core.Config; a matching snapshot left by an
 	// interrupted earlier run is resumed automatically.
@@ -103,8 +107,9 @@ type Run struct {
 	timeout    time.Duration // wall-clock deadline (0: registry default)
 	checkpoint string        // search checkpoint path (empty: none)
 
-	ring  *obs.RingSink
-	stats *obs.RunStats
+	ring   *obs.RingSink
+	stats  *obs.RunStats
+	phases *obs.PhaseAccounter
 }
 
 // ID returns the run's registry identifier.
@@ -379,6 +384,10 @@ func (r *Registry) SubmitWith(kind string, spec json.RawMessage, opts SubmitOpti
 	r.mu.Lock()
 	run.id = fmt.Sprintf("r-%06d", r.nextID.Add(1))
 	run.stats = obs.NewRunStats(run.id)
+	// The accounter is attached up front so stats snapshots carry the phase
+	// breakdown from the first trial on.
+	run.phases = obs.NewPhaseAccounter()
+	run.stats.AttachPhases(run.phases)
 	select {
 	case r.queue <- run:
 	default:
@@ -536,25 +545,32 @@ func (r *Registry) execute(run *Run) {
 	// injected "serve.job" panic) fails this run with a structured error
 	// and a captured stack instead of taking down the server, and the
 	// worker slot is freed as if the run had failed normally.
+	// The run/kind pprof labels scope everything the job does on this
+	// goroutine (and, via the context, the search workers it spawns), so a
+	// CPU profile of a busy server slices per run.
 	var result any
-	err := resilience.Guard("serve.job", func() error {
-		if ierr := r.inject.FireCtx(ctx, "serve.job"); ierr != nil {
-			return ierr
-		}
-		var jerr error
-		result, jerr = r.jobs[run.kind].Run(ctx, run.spec, JobContext{
-			// The tracer stamps the run id on every event, so several runs
-			// multiplexed into one consumer stay demuxable.
-			Tracer:     obs.NewRunTracer(run.ring, run.id),
-			Metrics:    perRun,
-			Log:        log,
-			Cache:      r.cache,
-			Stats:      run.stats,
-			Checkpoint: run.checkpoint,
-			Inject:     r.inject,
+	var err error
+	obs.DoLabeled(ctx, func(ctx context.Context) {
+		err = resilience.Guard("serve.job", func() error {
+			if ierr := r.inject.FireCtx(ctx, "serve.job"); ierr != nil {
+				return ierr
+			}
+			var jerr error
+			result, jerr = r.jobs[run.kind].Run(ctx, run.spec, JobContext{
+				// The tracer stamps the run id on every event, so several runs
+				// multiplexed into one consumer stay demuxable.
+				Tracer:     obs.NewRunTracer(run.ring, run.id),
+				Metrics:    perRun,
+				Log:        log,
+				Cache:      r.cache,
+				Stats:      run.stats,
+				Phases:     run.phases,
+				Checkpoint: run.checkpoint,
+				Inject:     r.inject,
+			})
+			return jerr
 		})
-		return jerr
-	})
+	}, "run", run.id, "kind", run.kind)
 
 	run.ring.Close()
 	r.metrics.Merge(perRun)
@@ -590,6 +606,9 @@ func (r *Registry) execute(run *Run) {
 
 	if timedOut {
 		r.metrics.Inc("serve.runs.timeout")
+		// A distinct lifecycle record (beyond "run finished") so log-based
+		// alerting can key on deadline kills per run id.
+		log.Warn("run timed out", "timeout", run.timeout)
 	}
 	if panicked {
 		r.metrics.Inc("resilience.panic_recovered")

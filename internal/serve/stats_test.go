@@ -39,6 +39,14 @@ func TestServeRunStatsEndpoint(t *testing.T) {
 	if sum != p.Stats.Trials {
 		t.Fatalf("shard table sums to %d, aggregate %d", sum, p.Stats.Trials)
 	}
+	// The phase breakdown rides along: every run gets an accounter, so the
+	// payload's phases block must attribute the search's trial time.
+	if p.Stats.Phases == nil || p.Stats.Phases.Trials == 0 {
+		t.Fatalf("phases block missing or empty: %+v", p.Stats.Phases)
+	}
+	if p.Stats.Phases.PhaseNS("integrate") <= 0 {
+		t.Fatalf("no integrate time attributed: %+v", p.Stats.Phases)
+	}
 
 	resp = getJSON(t, ts.URL+"/api/v1/runs/nope/stats", nil)
 	if resp.StatusCode != http.StatusNotFound {
