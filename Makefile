@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-stats-gate profile-smoke gobench fuzz chaos cover serve ci
+.PHONY: all build vet lint test race bench bench-stats-gate profile-smoke gobench fuzz chaos trace-smoke cover serve ci
 
 all: build
 
@@ -47,8 +47,10 @@ profile-smoke:
 	$(GO) run ./cmd/chop profile -short -dir $(PROFILE_DIR)
 
 # gobench runs the in-tree go test benchmarks (overhead gates etc.).
+# -run '^$' matches no test name, so only benchmarks execute (-run XXX
+# relied on no test happening to contain the substring).
 gobench:
-	$(GO) test -run XXX -bench . -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchmem ./...
 
 # fuzz smoke-tests the predictor-cache content key: determinism,
 # rename-insensitivity, mutation-sensitivity, no panics.
@@ -65,6 +67,14 @@ chaos:
 	CHOP_CHAOS_SMOKE=1 CHOP_CHAOS_SMOKE_SECS=$(CHAOS_SECS) \
 		CHOP_CHAOS_STATS_OUT=$(abspath $(CHAOS_STATS_OUT)) \
 		$(GO) test ./internal/serve -run TestChaosSmoke -count=1 -v
+
+# trace-smoke exercises distributed tracing end to end across two real
+# processes: chop serve -trace and a traced chop submit, stitched with
+# chop trace -fail-on-orphans (fails on broken parent links) and exported
+# as TRACE_SMOKE_DIR/perfetto.json for ui.perfetto.dev.
+TRACE_SMOKE_DIR ?= trace-smoke
+trace-smoke:
+	TRACE_SMOKE_DIR=$(TRACE_SMOKE_DIR) ./scripts/trace-smoke.sh
 
 # cover writes coverage.out plus a browsable HTML report.
 cover:

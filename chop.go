@@ -397,6 +397,72 @@ var (
 	NewStatsSnapshotter = obs.NewSnapshotter
 )
 
+// Distributed tracing (package obs): W3C trace context over process
+// boundaries, globally-unique span IDs, and offline stitching of several
+// processes' JSONL traces into one tree. The serve API speaks standard
+// `traceparent` headers; `chop trace` is the CLI stitcher.
+type (
+	// TraceContext is a W3C trace-context triple (trace ID, span ID,
+	// sampled flag) as carried by `traceparent` headers.
+	TraceContext = obs.TraceContext
+	// TracerOptions parameterizes NewTracerWith: a run tag to stamp on
+	// every event and a remote TraceContext to join (its trace ID is
+	// adopted; its span ID becomes the parent of root spans).
+	TracerOptions = obs.TracerOptions
+	// StitchSource is one process's trace stream handed to Stitch,
+	// labeled with a source name (usually the file name).
+	StitchSource = obs.StitchSource
+	// StitchTrace is one stitched trace: the span trees of every source
+	// that recorded events under one trace ID, clock-aligned.
+	StitchTrace = obs.StitchTrace
+	// StitchSpan is one span in a StitchTrace, with its source
+	// attribution and children.
+	StitchSpan = obs.StitchSpan
+	// CriticalSegment is one segment of a StitchTrace's critical path.
+	CriticalSegment = obs.CriticalSegment
+	// ServeClient is a small client for the serve API that injects the
+	// caller's TraceContext (from the request context) as a traceparent
+	// header and surfaces error envelopes with their request IDs.
+	ServeClient = serve.Client
+	// ServeSubmitSpec is the run-submission body ServeClient.Submit sends.
+	ServeSubmitSpec = serve.SubmitSpec
+)
+
+// TraceparentHeader is the W3C header name ("traceparent").
+const TraceparentHeader = obs.TraceparentHeader
+
+var (
+	// NewTracerWith wraps a sink into a Tracer with explicit
+	// TracerOptions — joining a remote trace and/or tagging a run (nil
+	// sink yields a disabled, nil Tracer). NewTracer is the zero-options
+	// shorthand.
+	NewTracerWith = obs.NewTracer
+	// ParseTraceparent parses a `traceparent` header value.
+	ParseTraceparent = obs.ParseTraceparent
+	// InjectTraceparent sets the traceparent header from a TraceContext.
+	InjectTraceparent = obs.InjectTraceparent
+	// TraceparentFromHeader extracts and validates a TraceContext from
+	// request headers.
+	TraceparentFromHeader = obs.TraceparentFromHeader
+	// NewTraceID mints a 32-hex W3C trace ID; NewSpanID a 16-hex span ID
+	// (process-unique, one atomic add per call).
+	NewTraceID = obs.NewTraceID
+	NewSpanID  = obs.NewSpanID
+	// WithTraceContext / TraceContextFrom carry a TraceContext through a
+	// context.Context (ServeClient injects it from there).
+	WithTraceContext = obs.WithTraceContext
+	TraceContextFrom = obs.TraceContextFrom
+	// Stitch merges several processes' trace streams into clock-aligned
+	// span trees, demultiplexed by trace ID; FormatStitch renders the
+	// waterfall + critical path, OrphanCount counts spans whose recorded
+	// parent no source contains, and Perfetto exports Chrome trace-event
+	// JSON for ui.perfetto.dev. `chop trace` drives all four.
+	Stitch       = obs.Stitch
+	FormatStitch = obs.FormatStitch
+	OrphanCount  = obs.OrphanCount
+	Perfetto     = obs.Perfetto
+)
+
 // Service plane types (package serve): an embeddable HTTP server that runs
 // partitioning jobs through a bounded worker pool, streams their traces as
 // Server-Sent Events, and exposes the metrics registry on /metrics. `chop

@@ -11,6 +11,8 @@
 //	chop eval -f spec.json evaluate a partitioning spec
 //	chop advise -f spec.json  interactive advisor session (commands on stdin)
 //	chop explain -f trace.jsonl  replay a -trace file into a readable report
+//	chop trace a.jsonl b.jsonl   stitch multi-process traces into one tree (-o perfetto exports for ui.perfetto.dev)
+//	chop submit            submit a run to a serve instance, propagating W3C trace context
 //	chop bench             run the performance harness, emit/compare BENCH JSON
 //	chop profile           profile a workload with per-phase attribution, diff against a baseline
 //	chop serve             start the HTTP service plane (runs, SSE traces, /metrics)
@@ -80,6 +82,10 @@ func main() {
 		err = advise(os.Args[2:])
 	case "explain":
 		err = explain(os.Args[2:])
+	case "trace":
+		err = traceCmd(os.Args[2:])
+	case "submit":
+		err = submit(os.Args[2:])
 	case "compile":
 		err = compile(os.Args[2:])
 	case "synth":
@@ -117,6 +123,14 @@ func usage() {
   advise -f spec.json  interactive advisor session (commands on stdin)
   explain -f trace.jsonl  replay a trace into a per-stage time and rejection report
                        (-stats prints the search-statistics report instead)
+  trace files...       stitch JSONL traces from multiple processes into merged
+                       span trees: waterfall + critical-path attribution, or
+                       -o perfetto for ui.perfetto.dev (-out file,
+                       -fail-on-orphans gates on missing parents)
+  submit               submit a spec to a serve instance and propagate W3C
+                       trace context (-addr, -kind, -f spec.json, -trace-out
+                       client.jsonl, -wait, -retry-for; prints the run id and
+                       traceparent)
   compile -f prog.hls  compile a behavioral program (loops unrolled) and print its DFG
   synth -f spec.json   synthesize the fastest feasible design to RTL, verify it, emit Verilog
   accuracy             compare BAD predictions against bound netlists
@@ -276,6 +290,8 @@ type obsFlags struct {
 	resume     *bool
 	inject     *string
 
+	traceparent *string
+
 	fs *flag.FlagSet
 }
 
@@ -296,6 +312,7 @@ func addObsFlags(fs *flag.FlagSet) *obsFlags {
 		checkpoint:    fs.String("checkpoint", "", "snapshot search progress to this file; removed on success"),
 		resume:        fs.Bool("resume", false, "resume from a matching -checkpoint snapshot (fresh start if absent or mismatched)"),
 		inject:        fs.String("inject", "", "fault-injection spec, e.g. 'seed=1,core.trial=error:@10' (default: $"+resilience.EnvFaultInject+")"),
+		traceparent:   fs.String("traceparent", "", "W3C traceparent of the calling span; this run's trace joins that distributed trace"),
 	}
 }
 
@@ -373,7 +390,20 @@ func (o *obsFlags) attach(cfg *core.Config) (func() error, error) {
 		prog = obs.NewProgressSink(os.Stderr, 0)
 		sinks = append(sinks, prog)
 	}
-	cfg.Trace = obs.New(obs.NewTeeSink(sinks...))
+	// The tracer adopts a caller's trace context when -traceparent is
+	// given, so a CLI run stitches under the caller's span in 'chop trace'.
+	topts := obs.TracerOptions{}
+	if *o.traceparent != "" {
+		tc, err := obs.ParseTraceparent(*o.traceparent)
+		if err != nil {
+			if file != nil {
+				file.Close()
+			}
+			return nil, fmt.Errorf("-traceparent: %w", err)
+		}
+		topts.Context = tc
+	}
+	cfg.Trace = obs.NewTracer(obs.NewTeeSink(sinks...), topts)
 	var m *obs.Metrics
 	if *o.metrics || *o.prom != "" || *o.statsOut != "" {
 		m = obs.NewMetrics()

@@ -60,6 +60,8 @@ func serveCmd(args []string) error {
 	jobTimeout := fs.Duration("job-timeout", 0, "default per-run wall-clock deadline; runs exceeding it are marked failed (0 = unbounded, overridable per submission via timeoutSec)")
 	checkpointDir := fs.String("checkpoint-dir", "", "directory for search checkpoints named by submissions (empty = checkpointing disabled)")
 	injectSpec := fs.String("inject", "", "fault-injection spec for chaos testing (default: $"+resilience.EnvFaultInject+")")
+	traceFile := fs.String("trace", "", "record the server's side of every sampled distributed trace (HTTP spans + job runs) as JSONL to this file; stitch with 'chop trace'")
+	traceSample := fs.Float64("trace-sample", 0, "head-sampling rate for traces the server roots itself (0 = record all, 0<r<1 = that fraction, negative = none; caller traceparents and error responses always win)")
 	lf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +90,17 @@ func serveCmd(args []string) error {
 		}
 	}
 
+	// The trace file outlives ListenAndServe so a SIGTERM'd server still
+	// flushes its buffered JSONL before exiting.
+	var traceSink *obs.FileSink
+	if *traceFile != "" {
+		var err error
+		traceSink, err = obs.NewFileSink(*traceFile)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -105,8 +118,18 @@ func serveCmd(args []string) error {
 		DefaultJobTimeout: *jobTimeout,
 		CheckpointDir:     *checkpointDir,
 		Inject:            inject,
+		TraceSink:         sinkOrNil(traceSink),
+		TraceSampleRate:   *traceSample,
 	})
-	return s.ListenAndServe(ctx)
+	err = s.ListenAndServe(ctx)
+	if traceSink != nil {
+		if cerr := traceSink.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("-trace: %w", cerr)
+		} else if cerr == nil {
+			log.Info("server trace written", "file", *traceFile)
+		}
+	}
+	return err
 }
 
 // version prints the binary's build identity — the same facts /metrics

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"chop/internal/obs"
+	"chop/internal/serve"
+	"chop/internal/spec"
+)
+
+// submit posts a run to a serve instance as a traced client: it roots a
+// distributed trace (or joins one via -traceparent), injects the W3C
+// traceparent on the API calls, and — with -trace-out — records its own
+// half of the trace as JSONL. Stitch it with the server's -trace file:
+//
+//	chop serve -trace server.jsonl &
+//	chop submit -kind eval -trace-out client.jsonl -wait
+//	chop trace client.jsonl server.jsonl
+func submit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "serve base URL")
+	kind := fs.String("kind", "eval", "run kind: eval, synth, exp1, exp2")
+	file := fs.String("f", "", "partitioning spec file (JSON); empty uses the built-in example spec for eval/synth")
+	traceOut := fs.String("trace-out", "", "record the client's JSONL trace to this file (stitch with 'chop trace')")
+	tp := fs.String("traceparent", "", "join an existing distributed trace instead of rooting a new one")
+	wait := fs.Bool("wait", false, "poll until the run reaches a terminal state; non-done states exit nonzero")
+	poll := fs.Duration("poll", 200*time.Millisecond, "polling cadence for -wait")
+	timeoutSec := fs.Float64("timeout-sec", 0, "per-run wall-clock deadline passed to the server (0 = server default)")
+	retryFor := fs.Duration("retry-for", 0, "keep retrying the server's health probe for this long before submitting (smoke scripts racing startup)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var specJSON json.RawMessage
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		specJSON = data
+	case *kind == "eval" || *kind == "synth":
+		data, err := json.Marshal(spec.Example())
+		if err != nil {
+			return err
+		}
+		specJSON = data
+	}
+
+	// The client's side of the trace: a root span covering the whole
+	// submission (or a child of -traceparent), recorded to -trace-out.
+	topts := obs.TracerOptions{}
+	if *tp != "" {
+		tc, err := obs.ParseTraceparent(*tp)
+		if err != nil {
+			return fmt.Errorf("-traceparent: %w", err)
+		}
+		topts.Context = tc
+	}
+	var sink *obs.FileSink
+	if *traceOut != "" {
+		var err error
+		sink, err = obs.NewFileSink(*traceOut)
+		if err != nil {
+			return err
+		}
+	}
+	tracer := obs.NewTracer(sinkOrNil(sink), topts)
+	root := tracer.Span("submit", obs.F("kind", *kind), obs.F("addr", *addr))
+
+	ctx := context.Background()
+	if tc := root.Context(); tc.Valid() {
+		ctx = obs.WithTraceContext(ctx, tc)
+	} else if topts.Context.Valid() {
+		// No local recording: still forward the caller's context verbatim.
+		ctx = obs.WithTraceContext(ctx, topts.Context)
+	}
+	client := &serve.Client{Base: *addr}
+
+	err := func() error {
+		if *retryFor > 0 {
+			deadline := time.Now().Add(*retryFor)
+			for {
+				if err := client.Health(ctx); err == nil {
+					break
+				} else if time.Now().After(deadline) {
+					return fmt.Errorf("server at %s not healthy after %v: %w", *addr, *retryFor, err)
+				}
+				time.Sleep(200 * time.Millisecond)
+			}
+		}
+		st, err := client.Submit(ctx, serve.SubmitSpec{
+			Kind: *kind, Spec: specJSON, TimeoutSec: *timeoutSec,
+		})
+		if err != nil {
+			return err
+		}
+		root.Point("accepted", obs.F("run", st.ID), obs.F("state", string(st.State)))
+		fmt.Printf("run %s accepted (kind %s, state %s)\n", st.ID, st.Kind, st.State)
+		if st.TraceID != "" {
+			fmt.Printf("trace %s\n", st.TraceID)
+		}
+		if !*wait {
+			return nil
+		}
+		final, err := client.Await(ctx, st.ID, *poll)
+		if err != nil {
+			return err
+		}
+		root.Point("finished", obs.F("state", string(final.State)))
+		fmt.Printf("run %s finished: %s\n", final.ID, final.State)
+		if final.Error != "" {
+			fmt.Printf("error: %s\n", final.Error)
+		}
+		if final.State != serve.StateDone {
+			return fmt.Errorf("run %s ended %s", final.ID, final.State)
+		}
+		return nil
+	}()
+
+	if err != nil {
+		root.End(obs.F("error", err.Error()))
+	} else {
+		root.End()
+	}
+	if sink != nil {
+		if cerr := sink.Close(); cerr != nil && err == nil {
+			err = cerr
+		} else if cerr == nil {
+			fmt.Fprintf(os.Stderr, "client trace written to %s (stitch with: chop trace %s <server trace>)\n",
+				*traceOut, *traceOut)
+		}
+	}
+	return err
+}
+
+// sinkOrNil converts a possibly-nil *obs.FileSink into the obs.Sink
+// interface without the classic non-nil-interface-to-nil-pointer trap.
+func sinkOrNil(s *obs.FileSink) obs.Sink {
+	if s == nil {
+		return nil
+	}
+	return s
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chop/internal/obs"
+)
+
+// traceCmd stitches JSONL trace files from any number of chop processes
+// (a client's -trace file, a server's serve -trace file, CLI runs) into
+// merged per-trace-ID span trees, and renders either a text waterfall
+// with critical-path attribution or a Perfetto/Chrome trace_event JSON
+// file for ui.perfetto.dev.
+func traceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	format := fs.String("o", "text", "output format: text (waterfall + critical path) or perfetto (Chrome trace_event JSON)")
+	outPath := fs.String("out", "", "write the rendering to this file instead of stdout")
+	failOnOrphans := fs.Bool("fail-on-orphans", false, "exit nonzero if any stitched span references a parent no source recorded")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("trace: at least one JSONL trace file required\nusage: chop trace [-o text|perfetto] [-out file] [-fail-on-orphans] trace.jsonl...")
+	}
+
+	sources := make([]obs.StitchSource, 0, len(files))
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sources = append(sources, obs.StitchSource{Name: path, R: f})
+	}
+	traces, err := obs.Stitch(sources)
+	if err != nil {
+		return err
+	}
+
+	var rendered []byte
+	switch *format {
+	case "text":
+		rendered = []byte(obs.FormatStitch(traces))
+	case "perfetto":
+		rendered, err = obs.Perfetto(traces)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("trace: unknown format %q (want text or perfetto)", *format)
+	}
+
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, rendered, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "stitched %d trace(s) from %d file(s) into %s", len(traces), len(files), *outPath)
+		if *format == "perfetto" {
+			fmt.Fprint(os.Stderr, " (open at https://ui.perfetto.dev)")
+		}
+		fmt.Fprintln(os.Stderr)
+	} else {
+		os.Stdout.Write(rendered)
+	}
+
+	if n := obs.OrphanCount(traces); n > 0 {
+		msg := fmt.Sprintf("trace: %d orphan span(s) — parents missing from the stitched sources", n)
+		if *failOnOrphans {
+			return fmt.Errorf("%s", msg)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+	}
+	return nil
+}

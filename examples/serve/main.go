@@ -1,12 +1,15 @@
 // Serve: embed the CHOP service plane in a program. The server mounts as a
 // plain http.Handler (here on httptest's in-process listener), runs an eval
-// job submitted over POST /api/v1/runs, follows its live trace on the SSE
-// endpoint, and scrapes /metrics — the same surface `chop serve` exposes on
-// a real port.
+// job submitted over POST /api/v1/runs with W3C trace-context propagation,
+// follows its live trace on the SSE endpoint, scrapes /metrics, and finally
+// stitches the caller's and the server's trace streams into one tree — the
+// same surface `chop serve`, `chop submit` and `chop trace` expose on real
+// ports and files.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -21,25 +24,35 @@ import (
 )
 
 func main() {
-	srv := chop.NewServer(chop.ServeOptions{MaxConcurrent: 2})
+	// The server records sampled requests and their job runs into its own
+	// JSONL stream; a real deployment passes `chop serve -trace <file>`.
+	var serverTrace bytes.Buffer
+	srv := chop.NewServer(chop.ServeOptions{
+		MaxConcurrent: 2,
+		TraceSink:     chop.NewWriterSink(&serverTrace),
+	})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer srv.Drain(context.Background())
 
-	// Submit the example partitioning problem (what `chop spec` prints).
+	// The caller records its own side of the story and joins the two via
+	// a traceparent header: the root span's context travels in the request
+	// context, and ServeClient injects the header.
+	var clientTrace bytes.Buffer
+	tracer := chop.NewTracerWith(chop.NewWriterSink(&clientTrace), chop.TracerOptions{})
+	root := tracer.Span("example submit")
+	ctx := chop.WithTraceContext(context.Background(), root.Context())
+
+	client := &chop.ServeClient{Base: ts.URL}
 	raw, err := json.Marshal(spec.Example())
 	if err != nil {
 		log.Fatal(err)
 	}
-	body := fmt.Sprintf(`{"kind":"eval","spec":%s}`, raw)
-	resp, err := http.Post(ts.URL+"/api/v1/runs", "application/json", strings.NewReader(body))
+	run, err := client.Submit(ctx, chop.ServeSubmitSpec{Kind: "eval", Spec: raw})
 	if err != nil {
 		log.Fatal(err)
 	}
-	var run chop.RunStatus
-	json.NewDecoder(resp.Body).Decode(&run)
-	resp.Body.Close()
-	fmt.Printf("submitted run %s (state %s)\n", run.ID, run.State)
+	fmt.Printf("submitted run %s (state %s, trace %s)\n", run.ID, run.State, run.TraceID)
 
 	// Stream its trace: replay of the bounded ring, then live events,
 	// then one `done` event carrying the final status.
@@ -62,20 +75,14 @@ func main() {
 	fmt.Printf("streamed %d trace events over SSE\n", traces)
 
 	// The run's result is retained until the server shuts down.
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		resp, err := http.Get(ts.URL + "/api/v1/runs/" + run.ID)
-		if err != nil {
-			log.Fatal(err)
-		}
-		json.NewDecoder(resp.Body).Decode(&run)
-		resp.Body.Close()
-		if run.State.Terminal() {
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
+	ctxAwait, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	run, err = client.Await(ctxAwait, run.ID, 10*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("run %s finished: state=%s traceEvents=%d\n", run.ID, run.State, run.TraceEvents)
+	root.End()
 
 	// /metrics carries the pipeline counters merged from the finished run
 	// alongside the server's own request-latency families.
@@ -92,5 +99,19 @@ func main() {
 			strings.HasPrefix(line, "chop_build_info{") {
 			fmt.Println(line)
 		}
+	}
+
+	// Stitch both processes' streams into one tree — what `chop trace
+	// client.jsonl server.jsonl` does with files.
+	stitched, err := chop.Stitch([]chop.StitchSource{
+		{Name: "client", R: &clientTrace},
+		{Name: "server", R: &serverTrace},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tr := range stitched {
+		fmt.Printf("stitched trace %s: %d spans from %d sources, %d orphans\n",
+			tr.TraceID, tr.Spans, len(tr.Sources), len(tr.Orphans))
 	}
 }

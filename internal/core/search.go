@@ -135,7 +135,7 @@ func search(p *Partitioning, cfg Config, preds []bad.Result, h Heuristic, parent
 			}
 			return serr
 		})
-	}, "run", cfg.Stats.Label(), "phase", "search")
+	}, "run", cfg.Stats.Label(), "phase", "search", "trace", cfg.Trace.TraceID())
 	if _, panicked := resilience.IsPanic(gerr); panicked {
 		cfg.Metrics.Inc("resilience.panic_recovered")
 	}

@@ -61,8 +61,34 @@ type Event struct {
 	// multiplex into one sink (the serve ring); empty for single-run
 	// tracers. Replay groups by it when present.
 	Run string `json:"run,omitempty"`
+	// Trace is the W3C trace ID (32 lowercase hex) shared by every span of
+	// one logical operation across processes; SID is this span's globally
+	// unique 8-byte span ID (16 lowercase hex, on begin/end and on the
+	// points inside it) and PSID its parent's — which may name a span in a
+	// different process (the remote caller) on root spans. Span/Parent stay
+	// the process-local tree; these three are what lets `chop trace` stitch
+	// several processes' JSONL files into one tree. All omitempty, so
+	// chop-trace/1 files without them still parse.
+	Trace string `json:"trace,omitempty"`
+	SID   string `json:"sid,omitempty"`
+	PSID  string `json:"psid,omitempty"`
+	// EpochNS anchors the tracer's relative clock to the wall clock: the
+	// tracer's start instant in nanoseconds since the Unix epoch, constant
+	// across a tracer's events. The absolute event time is EpochNS+TNS;
+	// the stitcher aligns clocks across processes with it.
+	EpochNS int64 `json:"epoch,omitempty"`
 	// Fields holds the structured attributes.
 	Fields map[string]any `json:"f,omitempty"`
+}
+
+// Time returns the event's absolute wall-clock time in nanoseconds since
+// the Unix epoch, or its relative TNS when the trace predates the epoch
+// anchor.
+func (ev Event) Time() int64 {
+	if ev.EpochNS == 0 {
+		return ev.TNS
+	}
+	return ev.EpochNS + ev.TNS
 }
 
 // Sink receives trace events. Implementations must be safe for concurrent
@@ -150,19 +176,52 @@ func (s *CountingSink) Names() []string {
 // Tracer emits hierarchical spans and events to a Sink. A nil *Tracer is
 // valid and disables all tracing.
 type Tracer struct {
-	sink  Sink
-	start time.Time
-	run   string
-	ids   atomic.Int64
+	sink    Sink
+	start   time.Time
+	epoch   int64 // start in ns since the Unix epoch (Event.EpochNS)
+	run     string
+	traceID string
+	remote  string // remote parent span ID adopted by root spans
+	ids     atomic.Int64
+}
+
+// TracerOptions parameterizes NewTracer. The zero value matches New.
+type TracerOptions struct {
+	// Run tags every emitted event with a run identifier, making events
+	// demuxable when several concurrent runs share one sink.
+	Run string
+	// Context links the tracer into a distributed trace: a valid TraceID
+	// is adopted (one is minted when absent), and a valid SpanID becomes
+	// the remote parent of the tracer's root spans — so the spans this
+	// process emits hang under the caller's span when the files are
+	// stitched. The Sampled flag is propagation metadata; it does not gate
+	// emission (a constructed tracer always records).
+	Context TraceContext
 }
 
 // New returns a Tracer emitting to sink, or nil (tracing disabled) when
 // sink is nil.
 func New(sink Sink) *Tracer {
+	return NewTracer(sink, TracerOptions{})
+}
+
+// NewTracer returns a Tracer emitting to sink with the given identity, or
+// nil (tracing disabled) when sink is nil.
+func NewTracer(sink Sink, opts TracerOptions) *Tracer {
 	if sink == nil {
 		return nil
 	}
-	return &Tracer{sink: sink, start: time.Now()}
+	t := &Tracer{sink: sink, start: time.Now(), run: opts.Run}
+	t.epoch = t.start.UnixNano()
+	if validHexID(opts.Context.TraceID, 32) {
+		t.traceID = opts.Context.TraceID
+	} else {
+		t.traceID = NewTraceID()
+	}
+	if validHexID(opts.Context.SpanID, 16) {
+		t.remote = opts.Context.SpanID
+	}
+	return t
 }
 
 // NewRunTracer returns a Tracer that stamps every emitted event with the
@@ -170,16 +229,23 @@ func New(sink Sink) *Tracer {
 // runs share one sink (the serve layer tags each job's tracer with its run
 // ID). Like New, a nil sink disables tracing.
 func NewRunTracer(sink Sink, run string) *Tracer {
-	t := New(sink)
-	if t != nil {
-		t.run = run
-	}
-	return t
+	return NewTracer(sink, TracerOptions{Run: run})
 }
 
-// emit stamps the tracer's run tag (if any) and forwards to the sink.
+// TraceID returns the tracer's distributed trace ID ("" on a nil tracer).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
+// emit stamps the tracer's identity (run tag, trace ID, epoch anchor) and
+// forwards to the sink.
 func (t *Tracer) emit(ev Event) {
 	ev.Run = t.run
+	ev.Trace = t.traceID
+	ev.EpochNS = t.epoch
 	t.sink.Emit(ev)
 }
 
@@ -194,16 +260,20 @@ func (t *Tracer) Span(name string, fields ...Field) *Span {
 	if !t.Enabled() {
 		return nil
 	}
-	return t.newSpan(name, 0, fields)
+	// Root spans chain to the remote caller's span (if the tracer was
+	// constructed with a propagated context).
+	return t.newSpan(name, 0, t.remote, fields)
 }
 
-func (t *Tracer) newSpan(name string, parent int64, fields []Field) *Span {
+func (t *Tracer) newSpan(name string, parent int64, psid string, fields []Field) *Span {
 	id := t.ids.Add(1)
+	sid := NewSpanID()
 	t.emit(Event{
 		TNS: t.now(), Kind: KindBegin, Name: name,
-		Span: id, Parent: parent, Fields: fieldMap(fields),
+		Span: id, Parent: parent, SID: sid, PSID: psid,
+		Fields: fieldMap(fields),
 	})
-	return &Span{t: t, id: id, name: name, start: time.Now()}
+	return &Span{t: t, id: id, sid: sid, name: name, start: time.Now()}
 }
 
 // SpanUnder starts a span under parent when parent is non-nil, else a root
@@ -221,8 +291,19 @@ func SpanUnder(t *Tracer, parent *Span, name string, fields ...Field) *Span {
 type Span struct {
 	t     *Tracer
 	id    int64
+	sid   string
 	name  string
 	start time.Time
+}
+
+// Context returns the span's position in the distributed trace — what a
+// caller injects into an outgoing request (InjectTraceparent) so the
+// receiver's spans become this span's children. Zero on a nil span.
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.t.traceID, SpanID: s.sid, Sampled: true}
 }
 
 // Child starts a sub-span.
@@ -230,7 +311,7 @@ func (s *Span) Child(name string, fields ...Field) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.t.newSpan(name, s.id, fields)
+	return s.t.newSpan(name, s.id, s.sid, fields)
 }
 
 // Point emits an instantaneous event within the span.
@@ -240,7 +321,7 @@ func (s *Span) Point(name string, fields ...Field) {
 	}
 	s.t.emit(Event{
 		TNS: s.t.now(), Kind: KindPoint, Name: name,
-		Span: s.id, Fields: fieldMap(fields),
+		Span: s.id, SID: s.sid, Fields: fieldMap(fields),
 	})
 }
 
@@ -251,7 +332,7 @@ func (s *Span) End(fields ...Field) {
 		return
 	}
 	s.t.emit(Event{
-		TNS: s.t.now(), Kind: KindEnd, Name: s.name, Span: s.id,
+		TNS: s.t.now(), Kind: KindEnd, Name: s.name, Span: s.id, SID: s.sid,
 		DurNS: time.Since(s.start).Nanoseconds(), Fields: fieldMap(fields),
 	})
 }

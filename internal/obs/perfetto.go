@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Perfetto export: stitched traces rendered as Chrome trace_event JSON
+// (the "JSON Array Format" with an object wrapper), which ui.perfetto.dev
+// and chrome://tracing open directly. Each stitch source becomes one
+// Perfetto "process" (pid + process_name metadata); within a process,
+// overlapping spans — parallel search shards, concurrent runs — are laid
+// out on synthetic "lanes" (tids) by greedy interval assignment, because
+// complete ("X") events on one track must nest by time.
+
+type perfettoEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TSUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type perfettoFile struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+// Perfetto renders stitched traces as Chrome trace_event JSON. Times are
+// microseconds relative to the earliest event across all traces, so the
+// viewer opens at t=0 regardless of wall-clock epoch.
+func Perfetto(traces []*StitchTrace) ([]byte, error) {
+	var t0 int64 = 0
+	first := true
+	for _, tr := range traces {
+		if first || tr.StartNS < t0 {
+			t0 = tr.StartNS
+			first = false
+		}
+	}
+
+	// Stable pid per source name across all traces.
+	pids := make(map[string]int)
+	var sources []string
+	for _, tr := range traces {
+		for _, s := range tr.Sources {
+			if _, ok := pids[s]; !ok {
+				pids[s] = len(pids) + 1
+				sources = append(sources, s)
+			}
+		}
+	}
+
+	out := perfettoFile{DisplayTimeUnit: "ms", TraceEvents: []perfettoEvent{}}
+	for _, s := range sources {
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: "process_name", Phase: "M", PID: pids[s],
+			Args: map[string]any{"name": s},
+		})
+	}
+
+	// Greedy lane assignment per source: spans sorted by start take the
+	// first lane whose previous occupant already ended.
+	type lane struct{ endNS int64 }
+	lanes := make(map[string][]lane)
+	assign := func(sp *StitchSpan) int {
+		ls := lanes[sp.Source]
+		for i := range ls {
+			if ls[i].endNS <= sp.StartNS {
+				ls[i].endNS = sp.EndNS
+				return i + 1
+			}
+		}
+		lanes[sp.Source] = append(ls, lane{endNS: sp.EndNS})
+		return len(lanes[sp.Source])
+	}
+
+	for _, tr := range traces {
+		cat := tr.TraceID
+		if cat == "" {
+			cat = "untraced"
+		}
+		// Flatten each trace's spans in start order so lane assignment is
+		// deterministic and parents tend to claim lower lanes.
+		var all []*StitchSpan
+		var collect func(s *StitchSpan)
+		collect = func(s *StitchSpan) {
+			all = append(all, s)
+			for _, c := range s.Children {
+				collect(c)
+			}
+		}
+		for _, r := range tr.Roots {
+			collect(r)
+		}
+		orphaned := make(map[*StitchSpan]bool)
+		for _, o := range tr.Orphans {
+			collect(o)
+			orphaned[o] = true
+		}
+		sort.SliceStable(all, func(i, j int) bool { return all[i].StartNS < all[j].StartNS })
+		for _, sp := range all {
+			args := map[string]any{
+				"trace": tr.TraceID, "sid": sp.SID, "source": sp.Source,
+			}
+			if sp.PSID != "" {
+				args["psid"] = sp.PSID
+			}
+			if sp.Run != "" {
+				args["run"] = sp.Run
+			}
+			if sp.Points > 0 {
+				args["points"] = sp.Points
+			}
+			if sp.Incomplete {
+				args["incomplete"] = true
+			}
+			if orphaned[sp] {
+				args["orphan"] = true
+			}
+			for k, v := range sp.Fields {
+				args["f."+k] = v
+			}
+			dur := float64(sp.DurNS) / 1e3
+			if dur <= 0 {
+				dur = 0.001 // zero-width spans vanish in the viewer
+			}
+			out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+				Name: sp.Name, Cat: cat, Phase: "X",
+				TSUs: float64(sp.StartNS-t0) / 1e3, DurUs: dur,
+				PID: pids[sp.Source], TID: assign(sp), Args: args,
+			})
+		}
+	}
+	return json.MarshalIndent(out, "", " ")
+}

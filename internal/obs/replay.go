@@ -78,9 +78,12 @@ func Replay(r io.Reader) (*Report, error) {
 	rep := newReport()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
-	// Span IDs restart at 1 per tracer, so multiplexed traces need one
-	// begin table per run tag to attribute end events correctly.
-	beginsByRun := make(map[string]map[int64]map[string]any)
+	// Local span IDs restart at 1 per tracer, so multiplexed traces need
+	// one begin table per tracer identity — the (trace ID, run tag) pair —
+	// to attribute end events correctly. Two processes' files concatenated
+	// into one reader collide on local span IDs but never on trace IDs;
+	// traces predating the trace-ID field fall back to the run tag alone.
+	beginsByTracer := make(map[string]map[int64]map[string]any)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -92,10 +95,11 @@ func Replay(r io.Reader) (*Report, error) {
 		if err := json.Unmarshal(raw, &ev); err != nil {
 			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
 		}
-		begins := beginsByRun[ev.Run]
+		key := ev.Trace + "\x00" + ev.Run
+		begins := beginsByTracer[key]
 		if begins == nil {
 			begins = make(map[int64]map[string]any)
-			beginsByRun[ev.Run] = begins
+			beginsByTracer[key] = begins
 		}
 		rep.add(ev, begins)
 	}

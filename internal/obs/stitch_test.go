@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// twoProcessTrace builds the canonical cross-process fixture: a "client"
+// tracer with a root span whose context a "server" tracer adopts, each
+// writing its own JSONL buffer — exactly what two chop processes produce.
+func twoProcessTrace(t *testing.T) (client, server *bytes.Buffer, tc TraceContext) {
+	t.Helper()
+	client, server = &bytes.Buffer{}, &bytes.Buffer{}
+	ct := New(NewWriterSink(client))
+	root := ct.Span("submit", F("kind", "eval"))
+	tc = root.Context()
+
+	st := NewTracer(NewWriterSink(server), TracerOptions{Run: "r-000001", Context: tc})
+	srun := st.Span("Run")
+	search := srun.Child("Search")
+	search.Point("trial", F("feasible", true))
+	search.End()
+	srun.End()
+
+	root.End()
+	return client, server, tc
+}
+
+func TestStitchTwoProcessesSingleTree(t *testing.T) {
+	client, server, tc := twoProcessTrace(t)
+	traces, err := Stitch([]StitchSource{
+		{Name: "client.jsonl", R: client},
+		{Name: "server.jsonl", R: server},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.TraceID != tc.TraceID {
+		t.Fatalf("trace id %s, want %s", tr.TraceID, tc.TraceID)
+	}
+	if len(tr.Roots) != 1 || len(tr.Orphans) != 0 {
+		t.Fatalf("roots=%d orphans=%d, want 1/0", len(tr.Roots), len(tr.Orphans))
+	}
+	if tr.Spans != 3 || tr.Points != 1 {
+		t.Fatalf("spans=%d points=%d", tr.Spans, tr.Points)
+	}
+	root := tr.Roots[0]
+	if root.Name != "submit" || root.Source != "client.jsonl" {
+		t.Fatalf("root %s from %s", root.Name, root.Source)
+	}
+	if len(root.Children) != 1 || root.Children[0].Name != "Run" ||
+		root.Children[0].Source != "server.jsonl" {
+		t.Fatalf("server Run span not stitched under client root: %+v", root.Children)
+	}
+	run := root.Children[0]
+	if len(run.Children) != 1 || run.Children[0].Name != "Search" {
+		t.Fatalf("Search not under Run: %+v", run.Children)
+	}
+	if run.Children[0].Points != 1 {
+		t.Fatalf("Search points = %d", run.Children[0].Points)
+	}
+	if got := strings.Join(tr.Sources, ","); got != "client.jsonl,server.jsonl" {
+		t.Fatalf("sources %q", got)
+	}
+	cp := tr.CriticalPath()
+	if len(cp) == 0 {
+		t.Fatal("empty critical path")
+	}
+	var total int64
+	for _, seg := range cp {
+		total += seg.NS
+	}
+	if dur := root.EndNS - root.StartNS; total != dur {
+		t.Fatalf("critical path sums to %d, root spans %d", total, dur)
+	}
+	text := FormatStitch(traces)
+	for _, want := range []string{"submit", "Run", "Search", "critical path", "client.jsonl", "server.jsonl"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "ORPHANS") {
+		t.Errorf("waterfall reports orphans:\n%s", text)
+	}
+}
+
+func TestStitchDetectsOrphans(t *testing.T) {
+	// A server trace whose remote parent was never recorded anywhere: the
+	// Run span references a span ID no source contains.
+	var server bytes.Buffer
+	st := NewTracer(NewWriterSink(&server), TracerOptions{
+		Context: TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true},
+	})
+	sp := st.Span("Run")
+	sp.End()
+	traces, err := Stitch([]StitchSource{{Name: "server.jsonl", R: &server}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || len(traces[0].Orphans) != 1 || len(traces[0].Roots) != 0 {
+		t.Fatalf("traces=%d orphans/roots wrong: %+v", len(traces), traces[0])
+	}
+	if OrphanCount(traces) != 1 {
+		t.Fatal("OrphanCount != 1")
+	}
+	if !strings.Contains(FormatStitch(traces), "ORPHANS") {
+		t.Fatal("orphans not rendered")
+	}
+}
+
+func TestStitchDemuxesTraceIDsAndAlignsClocks(t *testing.T) {
+	// Two independent processes (distinct trace IDs, colliding local span
+	// IDs) interleaved — plus epoch anchors shifted far apart, so ordering
+	// by absolute time only works when the anchors are honored.
+	mk := func(epochShift time.Duration, name string) (*bytes.Buffer, string) {
+		var buf bytes.Buffer
+		tr := New(NewWriterSink(&buf))
+		sp := tr.Span(name)
+		sp.End()
+		// Rewrite epochs to simulate processes started at different times.
+		var out bytes.Buffer
+		for _, l := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+			var ev Event
+			if err := json.Unmarshal([]byte(l), &ev); err != nil {
+				t.Fatal(err)
+			}
+			ev.EpochNS += epochShift.Nanoseconds()
+			b, _ := json.Marshal(ev)
+			out.Write(b)
+			out.WriteByte('\n')
+		}
+		return &out, tr.TraceID()
+	}
+	early, earlyID := mk(-time.Hour, "early")
+	late, lateID := mk(time.Hour, "late")
+	traces, err := Stitch([]StitchSource{
+		{Name: "late.jsonl", R: late},
+		{Name: "early.jsonl", R: early},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(traces))
+	}
+	// Sorted by absolute start: the -1h process first despite file order.
+	if traces[0].TraceID != earlyID || traces[1].TraceID != lateID {
+		t.Fatalf("trace order [%s %s], want [%s %s]",
+			traces[0].TraceID, traces[1].TraceID, earlyID, lateID)
+	}
+	for _, tr := range traces {
+		if len(tr.Roots) != 1 || len(tr.Orphans) != 0 {
+			t.Fatalf("trace %s roots=%d orphans=%d", tr.TraceID, len(tr.Roots), len(tr.Orphans))
+		}
+	}
+}
+
+func TestStitchLegacyTraceWithoutIdentity(t *testing.T) {
+	// A chop-trace/1 file with no sid/trace/epoch fields (pre-distributed
+	// schema) still stitches via synthesized per-source span keys.
+	legacy := `{"t":0,"k":"begin","name":"Run","span":1}
+{"t":50,"k":"begin","name":"Search","span":2,"parent":1}
+{"t":80,"k":"point","name":"trial","span":2}
+{"t":100,"k":"end","name":"Search","span":2,"dur":50}
+{"t":120,"k":"end","name":"Run","span":1,"dur":120}
+`
+	traces, err := Stitch([]StitchSource{{Name: "old.jsonl", R: strings.NewReader(legacy)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	tr := traces[0]
+	if tr.TraceID != "" || len(tr.Roots) != 1 || len(tr.Orphans) != 0 {
+		t.Fatalf("legacy stitch wrong: %+v", tr)
+	}
+	if tr.Roots[0].Name != "Run" || len(tr.Roots[0].Children) != 1 ||
+		tr.Roots[0].Children[0].Points != 1 {
+		t.Fatalf("legacy tree wrong: %+v", tr.Roots[0])
+	}
+}
+
+func TestStitchIncompleteSpan(t *testing.T) {
+	// A begin with no end (process died): span marked incomplete, clamped
+	// to the last event seen.
+	var buf bytes.Buffer
+	tr := New(NewWriterSink(&buf))
+	sp := tr.Span("Run")
+	sp.Point("trial")
+	_ = sp // never ended
+	traces, err := Stitch([]StitchSource{{Name: "dead.jsonl", R: &buf}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || len(traces[0].Roots) != 1 {
+		t.Fatal("incomplete span lost")
+	}
+	if !traces[0].Roots[0].Incomplete {
+		t.Fatal("span not marked incomplete")
+	}
+	if !strings.Contains(FormatStitch(traces), "no end event") {
+		t.Fatal("incomplete marker not rendered")
+	}
+}
+
+func TestPerfettoExport(t *testing.T) {
+	client, server, tc := twoProcessTrace(t)
+	traces, err := Stitch([]StitchSource{
+		{Name: "client.jsonl", R: client},
+		{Name: "server.jsonl", R: server},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Perfetto(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("perfetto output not JSON: %v", err)
+	}
+	var metas, complete int
+	pidsSeen := map[float64]bool{}
+	for _, ev := range out.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			metas++
+		case "X":
+			complete++
+			pidsSeen[ev["pid"].(float64)] = true
+			if ts, ok := ev["ts"].(float64); !ok || ts < 0 {
+				t.Fatalf("bad ts in %v", ev)
+			}
+			args := ev["args"].(map[string]any)
+			if args["trace"] != tc.TraceID {
+				t.Fatalf("event args missing trace id: %v", ev)
+			}
+		}
+	}
+	if metas != 2 {
+		t.Fatalf("process_name metadata events = %d, want 2", metas)
+	}
+	if complete != 3 {
+		t.Fatalf("complete events = %d, want 3", complete)
+	}
+	if len(pidsSeen) != 2 {
+		t.Fatalf("pids = %v, want spans across 2 processes", pidsSeen)
+	}
+}

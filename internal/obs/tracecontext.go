@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Distributed trace identity, W3C Trace Context compatible
+// (https://www.w3.org/TR/trace-context/): a 16-byte trace ID shared by
+// every span of one logical operation — across processes and machines —
+// an 8-byte span ID unique to each span, and a sampled flag. The triple
+// travels between processes in the `traceparent` HTTP header
+// ("00-<trace-id>-<span-id>-<flags>"); within a process it rides on
+// context.Context and on every trace Event (Event.Trace / Event.SID /
+// Event.PSID), which is what lets `chop trace` stitch the JSONL files of
+// N processes back into one tree.
+
+// TraceparentHeader is the W3C trace-context propagation header.
+const TraceparentHeader = "traceparent"
+
+// TraceContext identifies a position in a distributed trace: the trace a
+// span belongs to and the span itself. The zero value means "no context".
+type TraceContext struct {
+	// TraceID is 32 lowercase hex characters (16 bytes), non-zero.
+	TraceID string
+	// SpanID is 16 lowercase hex characters (8 bytes), non-zero. In a
+	// propagated context it names the caller's span — the remote parent of
+	// whatever the receiver starts.
+	SpanID string
+	// Sampled is the W3C sampled flag: the caller decided this trace is
+	// being recorded. Receivers honor it for head sampling.
+	Sampled bool
+}
+
+// Valid reports whether the context carries a usable trace ID and span ID.
+func (tc TraceContext) Valid() bool {
+	return validHexID(tc.TraceID, 32) && validHexID(tc.SpanID, 16)
+}
+
+// Traceparent renders the context as a W3C traceparent header value,
+// version 00. Invalid contexts render as "".
+func (tc TraceContext) Traceparent() string {
+	if !tc.Valid() {
+		return ""
+	}
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-" + flags
+}
+
+// ParseTraceparent parses a W3C traceparent header value. Per the spec,
+// unknown future versions are accepted as long as the first four fields
+// parse; version "ff" and all-zero IDs are rejected.
+func ParseTraceparent(s string) (TraceContext, error) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: want version-traceid-spanid-flags", s)
+	}
+	version := parts[0]
+	if len(version) != 2 || !isLowerHex(version) || version == "ff" {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad version %q", s, version)
+	}
+	if version == "00" && len(parts) != 4 {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: version 00 takes exactly 4 fields", s)
+	}
+	tc := TraceContext{TraceID: parts[1], SpanID: parts[2]}
+	if !validHexID(tc.TraceID, 32) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad trace id %q", s, tc.TraceID)
+	}
+	if !validHexID(tc.SpanID, 16) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad span id %q", s, tc.SpanID)
+	}
+	flags := parts[3]
+	if len(flags) != 2 || !isLowerHex(flags) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad flags %q", s, flags)
+	}
+	tc.Sampled = hexNibble(flags[1])&1 == 1 // low bit of the flags byte
+	return tc, nil
+}
+
+// InjectTraceparent stamps the context onto an outgoing header set.
+// Invalid contexts inject nothing.
+func InjectTraceparent(h http.Header, tc TraceContext) {
+	if v := tc.Traceparent(); v != "" {
+		h.Set(TraceparentHeader, v)
+	}
+}
+
+// TraceparentFromHeader extracts a propagated context from incoming
+// headers. ok is false when the header is absent or malformed (a
+// malformed header is ignored, per the W3C processing rules, so a broken
+// caller never breaks the receiver).
+func TraceparentFromHeader(h http.Header) (TraceContext, bool) {
+	v := h.Get(TraceparentHeader)
+	if v == "" {
+		return TraceContext{}, false
+	}
+	tc, err := ParseTraceparent(v)
+	if err != nil {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// ValidTraceID reports whether s is a usable W3C trace ID (32 lowercase
+// hex characters, not all zero).
+func ValidTraceID(s string) bool { return validHexID(s, 32) }
+
+// ValidSpanID reports whether s is a usable W3C span ID (16 lowercase hex
+// characters, not all zero).
+func ValidSpanID(s string) bool { return validHexID(s, 16) }
+
+func validHexID(s string, n int) bool {
+	if len(s) != n || !isLowerHex(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return true // non-zero somewhere
+		}
+	}
+	return false
+}
+
+func hexNibble(c byte) byte {
+	if c >= 'a' {
+		return c - 'a' + 10
+	}
+	return c - '0'
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ID generation. Span IDs must be globally unique — two processes tracing
+// into two files cannot collide, or the stitcher would merge unrelated
+// spans — but they are minted on the span hot path, so one crypto/rand
+// read per span is too much ceremony. Instead the process draws one
+// random 64-bit base at first use and every span ID is a splitmix64 of
+// base+counter: bijective (unique within the process for 2^64 spans),
+// uniformly distributed (cross-process collisions are birthday-bounded
+// like fully random IDs), and one atomic add + a few shifts per span.
+
+var (
+	idSeedOnce sync.Once
+	idSeed     uint64
+	idCounter  atomic.Uint64
+)
+
+func seedIDs() {
+	idSeedOnce.Do(func() {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err == nil {
+			idSeed = binary.LittleEndian.Uint64(b[:])
+		} else {
+			// Entropy-less fallback: wall clock + monotonic mix. Worse
+			// cross-process uniqueness, still unique within the process.
+			idSeed = splitmix64(uint64(time.Now().UnixNano()))
+		}
+	})
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewSpanID mints a process-unique, globally collision-resistant 8-byte
+// span ID (16 lowercase hex characters, non-zero).
+func NewSpanID() string {
+	seedIDs()
+	v := splitmix64(idSeed + idCounter.Add(1))
+	if v == 0 {
+		v = 1 // the all-zero span ID is invalid per W3C
+	}
+	return fmt.Sprintf("%016x", v)
+}
+
+// NewTraceID mints a random 16-byte trace ID (32 lowercase hex
+// characters, non-zero). Minted once per logical operation, so it reads
+// crypto/rand directly.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		seedIDs()
+		binary.LittleEndian.PutUint64(b[:8], splitmix64(idSeed+idCounter.Add(1)))
+		binary.LittleEndian.PutUint64(b[8:], splitmix64(idSeed+idCounter.Add(1)))
+	}
+	zero := true
+	for _, c := range b {
+		if c != 0 {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		b[15] = 1
+	}
+	return fmt.Sprintf("%x", b)
+}
+
+// Context plumbing: the serve middleware stores the request's trace
+// context here so handlers (and the jobs they submit) can parent their
+// work under the caller's span without threading it explicitly.
+
+type traceContextKey struct{}
+
+// WithTraceContext returns a context carrying tc.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceContextKey{}, tc)
+}
+
+// TraceContextFrom extracts the trace context stored by WithTraceContext;
+// ok is false when none is present.
+func TraceContextFrom(ctx context.Context) (TraceContext, bool) {
+	if ctx == nil {
+		return TraceContext{}, false
+	}
+	tc, ok := ctx.Value(traceContextKey{}).(TraceContext)
+	return tc, ok
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	if !tc.Valid() {
+		t.Fatalf("minted context invalid: %+v", tc)
+	}
+	hdr := tc.Traceparent()
+	if !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("traceparent %q not version 00 / sampled", hdr)
+	}
+	back, err := ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != tc {
+		t.Fatalf("round trip %+v != %+v", back, tc)
+	}
+	back, err = ParseTraceparent((TraceContext{TraceID: tc.TraceID, SpanID: tc.SpanID}).Traceparent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Sampled {
+		t.Fatal("flags 00 parsed as sampled")
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // version ff
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceparent(s); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted", s)
+		}
+	}
+	// Future versions are accepted with trailing fields (W3C forward
+	// compatibility), as long as the first four parse.
+	if _, err := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-what-ever"); err != nil {
+		t.Errorf("future version rejected: %v", err)
+	}
+}
+
+func TestHeaderInjectExtract(t *testing.T) {
+	h := make(http.Header)
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	InjectTraceparent(h, tc)
+	got, ok := TraceparentFromHeader(h)
+	if !ok || got != tc {
+		t.Fatalf("extract = %+v ok=%v, want %+v", got, ok, tc)
+	}
+	h.Set(TraceparentHeader, "garbage")
+	if _, ok := TraceparentFromHeader(h); ok {
+		t.Fatal("malformed header extracted")
+	}
+	h2 := make(http.Header)
+	InjectTraceparent(h2, TraceContext{}) // invalid injects nothing
+	if h2.Get(TraceparentHeader) != "" {
+		t.Fatal("invalid context injected a header")
+	}
+}
+
+func TestSpanIDsUniqueUnderConcurrency(t *testing.T) {
+	const perG, gs = 500, 8
+	var mu sync.Mutex
+	seen := make(map[string]bool, perG*gs)
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]string, 0, perG)
+			for i := 0; i < perG; i++ {
+				local = append(local, NewSpanID())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate span id %s", id)
+				}
+				seen[id] = true
+				if len(id) != 16 || !isLowerHex(id) {
+					t.Errorf("bad span id %q", id)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestContextCarriesTraceContext(t *testing.T) {
+	if _, ok := TraceContextFrom(context.Background()); ok {
+		t.Fatal("empty context reported a trace context")
+	}
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	got, ok := TraceContextFrom(WithTraceContext(context.Background(), tc))
+	if !ok || got != tc {
+		t.Fatalf("got %+v ok=%v", got, ok)
+	}
+}
+
+// TestTracerStampsIdentity pins the distributed-identity contract: every
+// event carries the tracer's trace ID and epoch anchor, spans carry
+// globally-unique IDs, children reference their parent's SID, and a
+// tracer built from a propagated context roots its spans under the remote
+// caller's span.
+func TestTracerStampsIdentity(t *testing.T) {
+	caller := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	var buf bytes.Buffer
+	sink := NewWriterSink(&buf)
+	tr := NewTracer(sink, TracerOptions{Run: "r-1", Context: caller})
+	if tr.TraceID() != caller.TraceID {
+		t.Fatalf("tracer trace id %s, want adopted %s", tr.TraceID(), caller.TraceID)
+	}
+	root := tr.Span("Run")
+	child := root.Child("Search")
+	child.Point("trial")
+	child.End()
+	root.End()
+
+	var evs []Event
+	for _, l := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev Event
+		if err := json.Unmarshal([]byte(l), &ev); err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, ev)
+	}
+	if len(evs) != 5 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Trace != caller.TraceID {
+			t.Fatalf("event %d trace %q", i, ev.Trace)
+		}
+		if ev.EpochNS == 0 {
+			t.Fatalf("event %d missing epoch anchor", i)
+		}
+		if ev.SID == "" {
+			t.Fatalf("event %d missing sid", i)
+		}
+	}
+	if evs[0].PSID != caller.SpanID {
+		t.Fatalf("root psid %q, want remote parent %q", evs[0].PSID, caller.SpanID)
+	}
+	if evs[1].PSID != evs[0].SID {
+		t.Fatalf("child psid %q, want parent sid %q", evs[1].PSID, evs[0].SID)
+	}
+	if evs[2].SID != evs[1].SID {
+		t.Fatal("point not stamped with enclosing span's sid")
+	}
+	if evs[3].SID != evs[1].SID || evs[4].SID != evs[0].SID {
+		t.Fatal("end events not stamped with their span's sid")
+	}
+	if got := root.Context(); got.TraceID != caller.TraceID || got.SpanID != evs[0].SID || !got.Sampled {
+		t.Fatalf("span context %+v", got)
+	}
+	// A fresh tracer mints its own distinct trace ID.
+	tr2 := New(NewCountingSink())
+	if tr2.TraceID() == "" || tr2.TraceID() == caller.TraceID {
+		t.Fatalf("fresh tracer trace id %q", tr2.TraceID())
+	}
+	// Nil safety for the new surface.
+	var nilTr *Tracer
+	if nilTr.TraceID() != "" {
+		t.Fatal("nil tracer TraceID")
+	}
+	var nilSpan *Span
+	if nilSpan.Context() != (TraceContext{}) {
+		t.Fatal("nil span Context")
+	}
+	if NewTracer(nil, TracerOptions{Run: "x"}) != nil {
+		t.Fatal("NewTracer(nil sink) should disable")
+	}
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"chop/internal/obs"
+)
+
+// Client is a minimal API client for the serve plane that propagates W3C
+// trace context: every request carries a traceparent header when the
+// context.Context holds one (obs.WithTraceContext), so the server's HTTP
+// span and the job run it supervises become children of the caller's span
+// in a stitched trace.
+type Client struct {
+	// Base is the server's base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the transport (nil: http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one JSON request. A trace context on ctx is injected as
+// traceparent; non-2xx responses decode the apiError envelope into the
+// returned error.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.Base, "/")+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if tc, ok := obs.TraceContextFrom(ctx); ok {
+		obs.InjectTraceparent(req.Header, tc)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			suffix := ""
+			if ae.RequestID != "" {
+				suffix = ", request " + ae.RequestID
+			}
+			return fmt.Errorf("serve: %s %s: %s (%s%s)", method, path, ae.Error, ae.Reason, suffix)
+		}
+		return fmt.Errorf("serve: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// SubmitSpec parameterizes Client.Submit; it mirrors the POST
+// /api/v1/runs body.
+type SubmitSpec struct {
+	Kind       string
+	Spec       json.RawMessage
+	TimeoutSec float64
+	Checkpoint string
+}
+
+// Submit posts a run and returns its accepted status (state queued, with
+// the run and trace IDs assigned).
+func (c *Client) Submit(ctx context.Context, req SubmitSpec) (RunStatus, error) {
+	var st RunStatus
+	err := c.do(ctx, http.MethodPost, "/api/v1/runs", submitRequest{
+		Kind:       req.Kind,
+		Spec:       req.Spec,
+		TimeoutSec: req.TimeoutSec,
+		Checkpoint: req.Checkpoint,
+	}, &st)
+	return st, err
+}
+
+// Get fetches one run's status, including its result when terminal.
+func (c *Client) Get(ctx context.Context, id string) (RunStatus, error) {
+	var st RunStatus
+	err := c.do(ctx, http.MethodGet, "/api/v1/runs/"+id, nil, &st)
+	return st, err
+}
+
+// Await polls a run until it reaches a terminal state (or ctx ends).
+func (c *Client) Await(ctx context.Context, id string, poll time.Duration) (RunStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Health reports whether the server answers its liveness probe.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"chop/internal/obs"
 )
 
 // apiError is the JSON error envelope every non-2xx API response carries.
@@ -15,6 +17,9 @@ type apiError struct {
 	// "draining", "unknown-kind", "bad-spec", "bad-checkpoint",
 	// "not-found").
 	Reason string `json:"reason,omitempty"`
+	// RequestID echoes the X-Request-Id header so error reports quote one
+	// token that finds the matching server log line and trace span.
+	RequestID string `json:"requestId,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -25,8 +30,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) // nothing useful to do with a write error mid-response
 }
 
-func writeError(w http.ResponseWriter, status int, reason string, err error) {
-	writeJSON(w, status, apiError{Error: err.Error(), Reason: reason})
+func writeError(w http.ResponseWriter, r *http.Request, status int, reason string, err error) {
+	writeJSON(w, status, apiError{
+		Error:     err.Error(),
+		Reason:    reason,
+		RequestID: RequestIDFrom(r.Context()),
+	})
 }
 
 // submitRequest is the POST /api/v1/runs body.
@@ -52,14 +61,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
 	// Bound the body: partitioning specs are small.
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad-request", fmt.Errorf("decode body: %w", err))
+		writeError(w, r, http.StatusBadRequest, "bad-request", fmt.Errorf("decode body: %w", err))
 		return
 	}
 	if !s.ready.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining)
+		writeError(w, r, http.StatusServiceUnavailable, "draining", ErrDraining)
 		return
 	}
 	opts := SubmitOptions{Checkpoint: req.Checkpoint}
+	// The middleware parsed (or minted) the request's trace context; the
+	// run adopts the trace ID and hangs its root span under this request's
+	// span, so a stitched trace reads caller → HTTP submit → job run.
+	if tc, ok := obs.TraceContextFrom(r.Context()); ok {
+		opts.Trace = tc
+	}
 	switch {
 	case req.TimeoutSec > 0:
 		opts.Timeout = time.Duration(req.TimeoutSec * float64(time.Second))
@@ -70,15 +85,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			writeError(w, http.StatusServiceUnavailable, "queue-full", err)
+			writeError(w, r, http.StatusServiceUnavailable, "queue-full", err)
 		case errors.Is(err, ErrDraining):
-			writeError(w, http.StatusServiceUnavailable, "draining", err)
+			writeError(w, r, http.StatusServiceUnavailable, "draining", err)
 		case errors.Is(err, ErrUnknownKind):
-			writeError(w, http.StatusBadRequest, "unknown-kind", err)
+			writeError(w, r, http.StatusBadRequest, "unknown-kind", err)
 		case errors.Is(err, ErrBadCheckpoint):
-			writeError(w, http.StatusBadRequest, "bad-checkpoint", err)
+			writeError(w, r, http.StatusBadRequest, "bad-checkpoint", err)
 		default:
-			writeError(w, http.StatusBadRequest, "bad-spec", err)
+			writeError(w, r, http.StatusBadRequest, "bad-spec", err)
 		}
 		return
 	}
@@ -93,7 +108,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "not-found",
+		writeError(w, r, http.StatusNotFound, "not-found",
 			fmt.Errorf("run %q not found", r.PathValue("id")))
 		return
 	}
@@ -104,7 +119,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	ok, err := s.reg.Cancel(id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "not-found", err)
+		writeError(w, r, http.StatusNotFound, "not-found", err)
 		return
 	}
 	run, _ := s.reg.Get(id)
@@ -155,13 +170,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "not-found",
+		writeError(w, r, http.StatusNotFound, "not-found",
 			fmt.Errorf("run %q not found", r.PathValue("id")))
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "no-stream",
+		writeError(w, r, http.StatusInternalServerError, "no-stream",
 			errors.New("response writer does not support streaming"))
 		return
 	}

@@ -106,6 +106,11 @@ type Run struct {
 
 	timeout    time.Duration // wall-clock deadline (0: registry default)
 	checkpoint string        // search checkpoint path (empty: none)
+	// trace is the run's distributed-trace identity: the trace ID the run's
+	// spans carry (adopted from the caller's context or minted at submit)
+	// and, when submitted over HTTP, the request span the run's root span
+	// hangs under in a stitched trace.
+	trace obs.TraceContext
 
 	ring   *obs.RingSink
 	stats  *obs.RunStats
@@ -139,6 +144,10 @@ type RunStatus struct {
 	// already discarded.
 	TraceEvents  int   `json:"traceEvents"`
 	TraceDropped int64 `json:"traceDropped"`
+	// TraceID is the W3C trace ID every span of this run carries — the
+	// caller's when the submission propagated one, otherwise minted at
+	// submit. Feed it to `chop trace` to find this run in stitched output.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // Status snapshots the run. withDetail adds the result payload and the
@@ -154,6 +163,7 @@ func (r *Run) Status(withDetail bool) RunStatus {
 		Error:        r.errMsg,
 		TraceEvents:  r.ring.Len(),
 		TraceDropped: r.ring.Overwritten(),
+		TraceID:      r.trace.TraceID,
 	}
 	if !r.started.IsZero() {
 		t := r.started
@@ -224,6 +234,10 @@ type RegistryOptions struct {
 	// Inject is the fault-injection harness threaded through every job
 	// (nil in production; chaos tests and the CLI's -inject flag set it).
 	Inject *resilience.Injector
+	// TraceSink, when set, additionally records every sampled run's trace
+	// (teed off the run's replay ring) — the server's half of a distributed
+	// trace, stitched with client files by `chop trace`.
+	TraceSink obs.Sink
 }
 
 // Registry supervises runs: a bounded queue feeding a fixed worker pool,
@@ -245,6 +259,7 @@ type Registry struct {
 	jobTimeout time.Duration
 	ckptDir    string
 	inject     *resilience.Injector
+	traceSink  obs.Sink
 	baseCtx    context.Context
 	stopAll    context.CancelFunc
 	wg         sync.WaitGroup
@@ -288,6 +303,7 @@ func NewRegistry(opts RegistryOptions) *Registry {
 		jobTimeout: opts.DefaultJobTimeout,
 		ckptDir:    opts.CheckpointDir,
 		inject:     opts.Inject,
+		traceSink:  opts.TraceSink,
 		baseCtx:    ctx,
 		stopAll:    cancel,
 	}
@@ -320,6 +336,13 @@ type SubmitOptions struct {
 	// with ErrBadCheckpoint when no CheckpointDir is configured or the name
 	// escapes it.
 	Checkpoint string
+	// Trace links the run into the caller's distributed trace: a valid
+	// TraceID is adopted for every span the run emits (minted otherwise),
+	// a valid SpanID becomes the remote parent of the run's root span, and
+	// Sampled gates recording into the registry's TraceSink. The HTTP layer
+	// fills this from the request's traceparent; locally-rooted runs (zero
+	// value) mint their own sampled trace.
+	Trace obs.TraceContext
 }
 
 // resolveCheckpoint maps a client-supplied checkpoint name onto a file
@@ -372,6 +395,12 @@ func (r *Registry) SubmitWith(kind string, spec json.RawMessage, opts SubmitOpti
 	if timeout < 0 {
 		timeout = 0
 	}
+	trace := opts.Trace
+	if !obs.ValidTraceID(trace.TraceID) {
+		// Locally-rooted run: mint the trace here (not in the tracer) so the
+		// ID is reportable from the moment the run is queued, and record it.
+		trace = obs.TraceContext{TraceID: obs.NewTraceID(), Sampled: true}
+	}
 	run := &Run{
 		kind:       kind,
 		spec:       spec,
@@ -379,9 +408,18 @@ func (r *Registry) SubmitWith(kind string, spec json.RawMessage, opts SubmitOpti
 		submitted:  time.Now(),
 		timeout:    timeout,
 		checkpoint: checkpoint,
+		trace:      trace,
 		ring:       obs.NewRingSink(r.ringCap),
 	}
 	r.mu.Lock()
+	// Re-check under the lock: Shutdown flips draining while holding mu, so
+	// a submission cannot slip between the drain flag and the queue flush
+	// and end up queued forever after the workers have exited.
+	if r.draining.Load() {
+		r.mu.Unlock()
+		r.metrics.Inc("serve.runs.rejected")
+		return nil, ErrDraining
+	}
 	run.id = fmt.Sprintf("r-%06d", r.nextID.Add(1))
 	run.stats = obs.NewRunStats(run.id)
 	// The accounter is attached up front so stats snapshots carry the phase
@@ -399,7 +437,8 @@ func (r *Registry) SubmitWith(kind string, spec json.RawMessage, opts SubmitOpti
 	r.order = append(r.order, run.id)
 	r.mu.Unlock()
 	r.metrics.Inc("serve.runs.submitted")
-	r.log.Info("run submitted", "run", run.id, "kind", kind, "queue", len(r.queue))
+	r.log.Info("run submitted", "run", run.id, "kind", kind,
+		"trace_id", run.trace.TraceID, "queue", len(r.queue))
 	return run, nil
 }
 
@@ -536,7 +575,7 @@ func (r *Registry) execute(run *Run) {
 	run.started = time.Now()
 	run.mu.Unlock()
 
-	log := r.log.With("run", run.id, "kind", run.kind)
+	log := r.log.With("run", run.id, "kind", run.kind, "trace_id", run.trace.TraceID)
 	log.Info("run started")
 	r.metrics.AddGauge("serve.runs_in_flight", 1)
 
@@ -555,11 +594,21 @@ func (r *Registry) execute(run *Run) {
 			if ierr := r.inject.FireCtx(ctx, "serve.job"); ierr != nil {
 				return ierr
 			}
+			// Every event carries the run id (demuxable when multiplexed)
+			// and the distributed identity: the caller's trace ID, and the
+			// caller's request span as the remote parent of the run's root —
+			// so `chop trace` hangs the run under the caller's waterfall.
+			// Sampled runs additionally tee into the registry's trace sink.
+			var sink obs.Sink = run.ring
+			if r.traceSink != nil && run.trace.Sampled {
+				sink = obs.NewTeeSink(run.ring, r.traceSink)
+			}
 			var jerr error
 			result, jerr = r.jobs[run.kind].Run(ctx, run.spec, JobContext{
-				// The tracer stamps the run id on every event, so several runs
-				// multiplexed into one consumer stay demuxable.
-				Tracer:     obs.NewRunTracer(run.ring, run.id),
+				Tracer: obs.NewTracer(sink, obs.TracerOptions{
+					Run:     run.id,
+					Context: run.trace,
+				}),
 				Metrics:    perRun,
 				Log:        log,
 				Cache:      r.cache,
@@ -570,7 +619,7 @@ func (r *Registry) execute(run *Run) {
 			})
 			return jerr
 		})
-	}, "run", run.id, "kind", run.kind)
+	}, "run", run.id, "kind", run.kind, "trace", run.trace.TraceID)
 
 	run.ring.Close()
 	r.metrics.Merge(perRun)
@@ -624,7 +673,12 @@ func (r *Registry) execute(run *Run) {
 // cancelled, in-flight run contexts are cancelled, and the worker pool is
 // awaited (bounded by ctx). Idempotent.
 func (r *Registry) Shutdown(ctx context.Context) error {
+	// The flag flips under mu so SubmitWith's locked re-check serializes
+	// against it: every submission either sees draining (rejected) or has
+	// already enqueued (the flush below reaches it).
+	r.mu.Lock()
 	r.draining.Store(true)
+	r.mu.Unlock()
 	r.stopAll() // cancels every in-flight run's context and stops workers
 	// Flush the backlog: anything still queued becomes canceled.
 flush:

@@ -51,18 +51,32 @@ type Options struct {
 	CheckpointDir string
 	// Inject enables fault injection on every run (nil in production).
 	Inject *resilience.Injector
+	// TraceSink, when set, records the server's side of every sampled
+	// distributed trace as JSONL: one HTTP span per sampled request plus the
+	// full trace of every sampled job run. Stitch the file with clients'
+	// -trace files via `chop trace`. Nil disables server trace recording
+	// (per-run rings and SSE streams still work).
+	TraceSink obs.Sink
+	// TraceSampleRate head-samples traces the server roots itself (requests
+	// arriving without a traceparent): 0 selects the default of 1.0 (record
+	// everything), a value in (0,1) records that fraction, negative records
+	// none. Caller-supplied traceparents carry their own sampling verdict,
+	// and error responses (status >= 400) are always recorded.
+	TraceSampleRate float64
 }
 
 // Server is the CHOP service plane: run supervision plus the HTTP
 // observability surface. Create with New, serve with ListenAndServe (or
 // mount Handler() on infrastructure of your own), stop with Drain.
 type Server struct {
-	opts    Options
-	log     *slog.Logger
-	metrics *obs.Metrics
-	reg     *Registry
-	ready   atomic.Bool
-	healthy atomic.Bool
+	opts       Options
+	log        *slog.Logger
+	metrics    *obs.Metrics
+	reg        *Registry
+	traceSink  obs.Sink
+	sampleRate float64
+	ready      atomic.Bool
+	healthy    atomic.Bool
 }
 
 // New builds a Server and starts its worker pool. The server is
@@ -82,7 +96,17 @@ func New(opts Options) *Server {
 		opts.Metrics = obs.NewMetrics()
 	}
 	obs.RecordBuildInfo(opts.Metrics)
-	s := &Server{opts: opts, log: opts.Log, metrics: opts.Metrics}
+	rate := opts.TraceSampleRate
+	switch {
+	case rate == 0:
+		rate = 1
+	case rate < 0:
+		rate = 0
+	case rate > 1:
+		rate = 1
+	}
+	s := &Server{opts: opts, log: opts.Log, metrics: opts.Metrics,
+		traceSink: opts.TraceSink, sampleRate: rate}
 	s.reg = NewRegistry(RegistryOptions{
 		MaxConcurrent:     opts.MaxConcurrent,
 		QueueDepth:        opts.QueueDepth,
@@ -94,6 +118,7 @@ func New(opts Options) *Server {
 		DefaultJobTimeout: opts.DefaultJobTimeout,
 		CheckpointDir:     opts.CheckpointDir,
 		Inject:            opts.Inject,
+		TraceSink:         opts.TraceSink,
 	})
 	s.ready.Store(true)
 	s.healthy.Store(true)
@@ -120,13 +145,13 @@ func (s *Server) Registry() *Registry { return s.reg }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern, name string, h http.HandlerFunc) {
-		mux.Handle(pattern, s.logRequest(name, obs.InstrumentHandler(s.metrics, name, h)))
+		mux.Handle(pattern, s.traceRequest(name, obs.InstrumentHandler(s.metrics, name, h)))
 	}
 	// SSE routes hold their connection open for the run's lifetime, so they
 	// record time-to-first-byte into the request histograms and their full
 	// lifetime into serve.http.stream_us instead (see InstrumentStreamHandler).
 	stream := func(pattern, name string, h http.HandlerFunc) {
-		mux.Handle(pattern, s.logRequest(name, obs.InstrumentStreamHandler(s.metrics, name, h)))
+		mux.Handle(pattern, s.traceRequest(name, obs.InstrumentStreamHandler(s.metrics, name, h)))
 	}
 	route("POST /api/v1/runs", "submit", s.handleSubmit)
 	route("GET /api/v1/runs", "list_runs", s.handleList)
@@ -141,22 +166,12 @@ func (s *Server) Handler() http.Handler {
 	route("GET /readyz", "readyz", s.handleReadyz)
 	// pprof registers on the mux directly (its own handlers manage
 	// content types); instrumented under one shared route label.
-	mux.Handle("/debug/pprof/", s.logRequest("pprof", obs.InstrumentHandler(s.metrics, "pprof", http.HandlerFunc(pprof.Index))))
+	mux.Handle("/debug/pprof/", s.traceRequest("pprof", obs.InstrumentHandler(s.metrics, "pprof", http.HandlerFunc(pprof.Index))))
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
-}
-
-// logRequest emits one structured record per completed request.
-func (s *Server) logRequest(name string, next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		s.log.Debug("http request", "route", name, "method", r.Method,
-			"path", r.URL.Path, "duration", time.Since(start))
-	})
 }
 
 // Drain begins graceful shutdown: readiness flips to 503 (load balancers

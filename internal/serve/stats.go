@@ -104,7 +104,7 @@ type RunStatsPayload struct {
 func (s *Server) handleRunStats(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "not-found",
+		writeError(w, r, http.StatusNotFound, "not-found",
 			fmt.Errorf("run %q not found", r.PathValue("id")))
 		return
 	}
@@ -128,13 +128,13 @@ const statsStreamInterval = time.Second
 func (s *Server) handleStatsStream(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "not-found",
+		writeError(w, r, http.StatusNotFound, "not-found",
 			fmt.Errorf("run %q not found", r.PathValue("id")))
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "no-stream",
+		writeError(w, r, http.StatusInternalServerError, "no-stream",
 			errors.New("response writer does not support streaming"))
 		return
 	}

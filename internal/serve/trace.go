@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"context"
+	"math/rand/v2"
+	"net/http"
+	"time"
+
+	"chop/internal/obs"
+)
+
+// Cross-process trace correlation for the HTTP surface. Every request gets
+// a request id and a W3C trace context: a caller-supplied traceparent is
+// adopted (the request becomes a child of the caller's span), otherwise a
+// fresh trace is minted and head-sampled at Options.TraceSampleRate. The
+// context rides on the request's context.Context, so handleSubmit parents
+// the job run under the request's span; both identities are echoed back in
+// the traceparent and X-Request-Id response headers.
+//
+// When the server records its own trace (Options.TraceSink), the request is
+// emitted as one span per sampled request — retroactively, at request end,
+// which is what lets "always sample on error" work: an unsampled request
+// that turns into a 4xx/5xx still gets its span recorded.
+
+// RequestIDHeader carries the per-request correlation id on responses.
+const RequestIDHeader = "X-Request-Id"
+
+type requestIDKey struct{}
+
+// RequestIDFrom returns the request id the trace middleware assigned, or
+// "" outside a request.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusRecorder captures the response status for logging and the
+// sample-on-error decision. It forwards Flush so the SSE handlers behind it
+// keep streaming.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// traceRequest is the outermost middleware: trace-context
+// extraction/minting, request id, response header echo, and the structured
+// access record every request emits.
+func (s *Server) traceRequest(name string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := obs.NewSpanID()
+
+		parent, fromCaller := obs.TraceparentFromHeader(r.Header)
+		tc := obs.TraceContext{SpanID: obs.NewSpanID()} // this request's span
+		if fromCaller {
+			// The caller decided: same trace, its sampling verdict.
+			tc.TraceID = parent.TraceID
+			tc.Sampled = parent.Sampled
+		} else {
+			tc.TraceID = obs.NewTraceID()
+			tc.Sampled = s.sampleRate >= 1 || (s.sampleRate > 0 && rand.Float64() < s.sampleRate)
+		}
+
+		ctx := obs.WithTraceContext(r.Context(), tc)
+		ctx = context.WithValue(ctx, requestIDKey{}, reqID)
+		r = r.WithContext(ctx)
+
+		// Echo identity before the handler writes anything, so callers can
+		// correlate even an opaque 500 and SSE consumers see it on the
+		// stream response.
+		obs.InjectTraceparent(w.Header(), tc)
+		w.Header().Set(RequestIDHeader, reqID)
+
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		dur := time.Since(start)
+
+		// Head sampling decided up front; errors are recorded regardless.
+		// The span is emitted retroactively either way, anchored at the
+		// request's own start instant.
+		if s.traceSink != nil && (tc.Sampled || rec.status >= 400) {
+			psid := ""
+			if fromCaller {
+				psid = parent.SpanID
+			}
+			epoch := start.UnixNano()
+			s.traceSink.Emit(obs.Event{
+				TNS: 0, Kind: obs.KindBegin, Name: "http " + name,
+				Trace: tc.TraceID, SID: tc.SpanID, PSID: psid, EpochNS: epoch,
+				Fields: map[string]any{"method": r.Method, "path": r.URL.Path},
+			})
+			s.traceSink.Emit(obs.Event{
+				TNS: dur.Nanoseconds(), Kind: obs.KindEnd, Name: "http " + name,
+				Trace: tc.TraceID, SID: tc.SpanID, EpochNS: epoch,
+				DurNS: dur.Nanoseconds(),
+				Fields: map[string]any{
+					"status": rec.status, "request_id": reqID,
+				},
+			})
+		}
+
+		s.log.Debug("http request", "route", name, "method", r.Method,
+			"path", r.URL.Path, "status", rec.status, "duration", dur,
+			"trace_id", tc.TraceID, "request_id", reqID)
+	})
+}

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chop/internal/core"
+	"chop/internal/obs"
+	"chop/internal/spec"
+)
+
+// lockedBuffer is an io.Writer safe for the concurrent emits a server
+// trace sink sees.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDistributedTraceEndToEnd is the acceptance flow for cross-process
+// trace correlation: a caller-rooted trace propagates over the serve API
+// via traceparent, the server records its half (HTTP spans + the job run's
+// full trace), and stitching the two JSONL files yields one rooted tree —
+// caller span → HTTP span → job run → search spans — with zero orphans.
+func TestDistributedTraceEndToEnd(t *testing.T) {
+	serverBuf := &lockedBuffer{}
+	s := New(Options{
+		MaxConcurrent: 2,
+		TraceSink:     obs.NewWriterSink(serverBuf),
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Drain(context.Background())
+	}()
+
+	// The "client process": its own tracer, its own JSONL file.
+	var clientBuf bytes.Buffer
+	ct := obs.New(obs.NewWriterSink(&clientBuf))
+	root := ct.Span("client submit", obs.F("test", true))
+	ctx := obs.WithTraceContext(context.Background(), root.Context())
+
+	client := &Client{Base: ts.URL}
+	raw, err := json.Marshal(spec.Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Submit(ctx, SubmitSpec{Kind: "eval", Spec: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID != ct.TraceID() {
+		t.Fatalf("run adopted trace %s, caller sent %s", st.TraceID, ct.TraceID())
+	}
+	final, err := client.Await(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("run ended %s: %s", final.State, final.Error)
+	}
+	root.End()
+
+	traces, err := obs.Stitch([]obs.StitchSource{
+		{Name: "client.jsonl", R: strings.NewReader(clientBuf.String())},
+		{Name: "server.jsonl", R: strings.NewReader(serverBuf.String())},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("stitched %d traces, want 1 (all spans share the caller's trace ID)", len(traces))
+	}
+	tr := traces[0]
+	if tr.TraceID != ct.TraceID() {
+		t.Fatalf("trace id %s, want %s", tr.TraceID, ct.TraceID())
+	}
+	if n := obs.OrphanCount(traces); n != 0 {
+		t.Fatalf("%d orphan spans:\n%s", n, obs.FormatStitch(traces))
+	}
+	if len(tr.Roots) != 1 {
+		t.Fatalf("%d roots, want the caller's span alone:\n%s", len(tr.Roots), obs.FormatStitch(traces))
+	}
+	caller := tr.Roots[0]
+	if caller.Name != "client submit" || caller.Source != "client.jsonl" {
+		t.Fatalf("root is %q from %s", caller.Name, caller.Source)
+	}
+
+	// Under the caller: the submit HTTP span (plus the Await polls' get_run
+	// spans). Under the submit span: the job run's root span.
+	var httpSubmit *obs.StitchSpan
+	for _, c := range caller.Children {
+		if c.Name == "http submit" {
+			httpSubmit = c
+		}
+		if c.Source != "server.jsonl" {
+			t.Errorf("caller child %q from %s, want server.jsonl", c.Name, c.Source)
+		}
+	}
+	if httpSubmit == nil {
+		t.Fatalf("no 'http submit' span under the caller:\n%s", obs.FormatStitch(traces))
+	}
+	var jobRoot *obs.StitchSpan
+	for _, c := range httpSubmit.Children {
+		if c.Run == st.ID {
+			jobRoot = c
+		}
+	}
+	if jobRoot == nil {
+		t.Fatalf("job run %s not parented under the HTTP submit span:\n%s", st.ID, obs.FormatStitch(traces))
+	}
+	var hasSearch func(sp *obs.StitchSpan) bool
+	hasSearch = func(sp *obs.StitchSpan) bool {
+		if sp.Name == "Search" {
+			return true
+		}
+		for _, c := range sp.Children {
+			if hasSearch(c) {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasSearch(jobRoot) {
+		t.Fatalf("no Search span in the job's subtree:\n%s", obs.FormatStitch(traces))
+	}
+
+	// The waterfall and Perfetto export both render without error.
+	if out := obs.FormatStitch(traces); !strings.Contains(out, "client submit") {
+		t.Fatal("waterfall missing the caller's root span")
+	}
+	if _, err := obs.Perfetto(traces); err != nil {
+		t.Fatalf("perfetto export: %v", err)
+	}
+}
+
+// TestTracePropagationDoesNotChangeResults pins that wiring a tracer with a
+// propagated remote context into the pipeline leaves the search results
+// byte-identical to an untraced run.
+func TestTracePropagationDoesNotChangeResults(t *testing.T) {
+	raw, err := json.Marshal(spec.Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func(traced bool) []byte {
+		prob, err := spec.Parse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if traced {
+			prob.Config.Trace = obs.NewTracer(obs.NewCountingSink(), obs.TracerOptions{
+				Run: "r-test",
+				Context: obs.TraceContext{
+					TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: true,
+				},
+			})
+		}
+		res, _, err := core.Run(prob.Partitioning, prob.Config, prob.Heuristic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	plain := runOnce(false)
+	traced := runOnce(true)
+	if !bytes.Equal(plain, traced) {
+		t.Fatal("search results differ with trace propagation enabled")
+	}
+}
+
+// TestTraceHeadersAndSampling pins the HTTP identity surface: traceparent
+// and X-Request-Id echo on every response, error envelopes carry the
+// request id, a negative sample rate suppresses rooted-request spans, and
+// error responses are recorded regardless ("always sample on error").
+func TestTraceHeadersAndSampling(t *testing.T) {
+	serverBuf := &lockedBuffer{}
+	s := New(Options{
+		TraceSink:       obs.NewWriterSink(serverBuf),
+		TraceSampleRate: -1, // never head-sample server-rooted traces
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Drain(context.Background())
+	}()
+
+	// A successful request: headers echo, but with sampling off no span is
+	// recorded.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	tp := resp.Header.Get(obs.TraceparentHeader)
+	if _, err := obs.ParseTraceparent(tp); err != nil {
+		t.Fatalf("response traceparent %q: %v", tp, err)
+	}
+	if resp.Header.Get(RequestIDHeader) == "" {
+		t.Fatal("no X-Request-Id on response")
+	}
+	if got := serverBuf.String(); got != "" {
+		t.Fatalf("unsampled 200 recorded a span: %s", got)
+	}
+
+	// An error request: always recorded, and the envelope names the request.
+	resp, err = http.Get(ts.URL + "/api/v1/runs/r-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ae struct {
+		Error     string `json:"error"`
+		RequestID string `json:"requestId"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ae.RequestID == "" || ae.RequestID != resp.Header.Get(RequestIDHeader) {
+		t.Fatalf("error envelope request id %q, header %q", ae.RequestID, resp.Header.Get(RequestIDHeader))
+	}
+	if !strings.Contains(serverBuf.String(), `"http get_run"`) {
+		t.Fatalf("404 span not recorded despite sampling off:\n%s", serverBuf.String())
+	}
+
+	// A caller-sampled traceparent wins over the negative rate.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	caller := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: true}
+	obs.InjectTraceparent(req.Header, caller)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	echo, err := obs.ParseTraceparent(resp.Header.Get(obs.TraceparentHeader))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo.TraceID != caller.TraceID || !echo.Sampled {
+		t.Fatalf("echoed %+v, want caller trace %s sampled", echo, caller.TraceID)
+	}
+	if !strings.Contains(serverBuf.String(), caller.TraceID) {
+		t.Fatal("caller-sampled request not recorded")
+	}
+}
