@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-stats-gate profile-smoke gobench fuzz chaos trace-smoke cover serve ci
+.PHONY: all build vet lint test race bench bench-stats-gate profile-smoke gobench fuzz chaos trace-smoke loadgen-smoke cover serve ci
 
 all: build
 
@@ -75,6 +75,17 @@ chaos:
 TRACE_SMOKE_DIR ?= trace-smoke
 trace-smoke:
 	TRACE_SMOKE_DIR=$(TRACE_SMOKE_DIR) ./scripts/trace-smoke.sh
+
+# loadgen-smoke drives the SLO harness against a real admission-controlled
+# chop serve process (API keys, quotas, rate limits) at low RPS, gates the
+# resulting loadgen.json (p99 latency + goroutine/FD leak budgets), and
+# checks that a wrong API key buckets under bad-key. Gate a change against
+# a saved baseline with:
+#   go run ./cmd/chop loadgen -compare loadgen-smoke/loadgen.json
+LOADGEN_SECS ?= 10
+LOADGEN_DIR ?= loadgen-smoke
+loadgen-smoke:
+	LOADGEN_DIR=$(LOADGEN_DIR) LOADGEN_SECS=$(LOADGEN_SECS) ./scripts/loadgen-smoke.sh
 
 # cover writes coverage.out plus a browsable HTML report.
 cover:

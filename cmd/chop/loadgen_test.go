@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chop/internal/loadgen"
+	"chop/internal/serve"
+)
+
+// TestLoadgenCompareGateCLI drives the documented SLO workflow end to end
+// against an in-process serve instance: record a baseline, gate a clean
+// live re-run against it (must pass), inject a goroutine leak into the
+// recorded report (offline gate must fail), then shrink the baseline's p99
+// latencies so an unchanged live re-run reads as a latency regression
+// (live gate must fail non-zero).
+func TestLoadgenCompareGateCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives live load three times")
+	}
+	s := serve.New(serve.Options{MaxConcurrent: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Drain(context.Background())
+	}()
+
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+	newer := filepath.Join(dir, "loadgen.json")
+	// Generous tolerances: sub-millisecond p99s are noisy run to run, and
+	// the injected regressions below overshoot these bounds by 100x.
+	common := []string{"-addr", ts.URL, "-kind", "eval", "-rps", "25",
+		"-duration", "1", "-stream", "0.3", "-cancel", "0.1", "-poll", "0.02",
+		"-tolerance", "900", "-leak-tolerance", "100"}
+
+	if err := loadgenCmd(append([]string{"-json", base}, common...)); err != nil {
+		t.Fatalf("recording baseline: %v", err)
+	}
+	if err := loadgenCmd(append([]string{"-json", newer, "-compare", base}, common...)); err != nil {
+		t.Fatalf("clean re-run against own baseline failed: %v", err)
+	}
+
+	// Goroutine leak: doctor the recorded run's after-sample and re-gate the
+	// two files offline.
+	cur, err := loadgen.Load(newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.GoroutinesAfter = cur.GoroutinesBefore + 1000
+	if err := cur.Save(newer); err != nil {
+		t.Fatal(err)
+	}
+	err = loadgenCmd([]string{"-compare", base, newer, "-tolerance", "900", "-leak-tolerance", "100"})
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("injected goroutine leak not gated, got %v", err)
+	}
+
+	// p99 latency: a baseline claiming 1000x faster submits makes the
+	// unchanged server read as regressed on the next live gated run.
+	rep, err := loadgen.Load(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Submit.P99MS *= 0.001
+	rep.TTFB.P99MS *= 0.001
+	if err := rep.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	err = loadgenCmd(append([]string{"-json", filepath.Join(dir, "regressed.json"), "-compare", base}, common...))
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("injected p99 latency regression not gated, got %v", err)
+	}
+}
+
+func TestLoadgenOfflineCompareNeedsReports(t *testing.T) {
+	if err := loadgenCmd([]string{"-compare", "no-such.json", "also-missing.json"}); err == nil {
+		t.Fatal("want error for missing reports")
+	}
+}

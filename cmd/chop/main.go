@@ -16,6 +16,7 @@
 //	chop bench             run the performance harness, emit/compare BENCH JSON
 //	chop profile           profile a workload with per-phase attribution, diff against a baseline
 //	chop serve             start the HTTP service plane (runs, SSE traces, /metrics)
+//	chop loadgen           drive a live serve instance at a target RPS, gate SLOs vs a baseline
 //	chop top               live terminal dashboard over a serve instance or a -stats-out file
 //	chop version           print the binary's build identity
 //
@@ -94,6 +95,8 @@ func main() {
 		err = accuracy()
 	case "serve":
 		err = serveCmd(os.Args[2:])
+	case "loadgen":
+		err = loadgenCmd(os.Args[2:])
 	case "top":
 		err = top(os.Args[2:])
 	case "version":
@@ -144,7 +147,16 @@ func usage() {
                        -queue, -ring, -grace, -predict-cache, -job-timeout,
                        -checkpoint-dir, -inject, -log-level, -log-json); submit
                        runs on POST /api/v1/runs, stream traces on
-                       /api/v1/runs/{id}/events, scrape /metrics
+                       /api/v1/runs/{id}/events, scrape /metrics; -api-keys
+                       file.json turns on multi-tenant admission control
+                       (quotas, submit rates, priority preemption)
+  loadgen              drive a live serve instance with a submit/stream/cancel
+                       mix at a target rate (-addr, -rps, -duration, -stream,
+                       -cancel, -subs, -api-key), measure p50/p95/p99 submit
+                       and TTFB latency plus goroutine/FD stability, write
+                       loadgen.json; -compare baseline.json gates the SLOs
+                       (p99 growth beyond -tolerance, leaks beyond
+                       -leak-tolerance exit non-zero)
   top                  live terminal dashboard: poll a serve instance
                        (-addr, optionally -run id) or tail a -stats-out file
                        (-f stats.jsonl); -once renders a single frame

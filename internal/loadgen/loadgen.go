@@ -1,0 +1,301 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"encoding/json"
+
+	"chop/internal/serve"
+)
+
+// Options parameterizes Run. Zero values select sensible defaults.
+type Options struct {
+	// Base is the target server's base URL (required).
+	Base string
+	// APIKey authenticates against an admission-controlled server.
+	APIKey string
+	// Kind is the run kind to submit (required); Spec its submission body.
+	Kind string
+	Spec json.RawMessage
+	// RPS is the target open-loop submit rate (default 5); Duration the
+	// measured window (default 5s).
+	RPS      float64
+	Duration time.Duration
+	// MaxInFlight bounds concurrently outstanding runs; schedule ticks that
+	// would exceed it are counted as Skipped instead of queueing client-side
+	// (default 64).
+	MaxInFlight int
+	// CancelFraction is the fraction of accepted runs cancelled immediately
+	// after submission; StreamFraction the fraction whose SSE trace stream
+	// is consumed by Subscribers parallel consumers (default 2 each).
+	CancelFraction float64
+	StreamFraction float64
+	Subscribers    int
+	// TimeoutSec is forwarded as each submission's timeoutSec (0: server
+	// default).
+	TimeoutSec float64
+	// Poll is Await's initial polling delay (default 100ms).
+	Poll time.Duration
+	// Seed drives the deterministic cancel/stream mix (default 1).
+	Seed int64
+	// HTTP is the transport (nil: http.DefaultClient).
+	HTTP *http.Client
+}
+
+// Run drives one load test against a live server and folds the outcome
+// into a Report. The pacing is open-loop: submissions fire on a fixed
+// 1/RPS schedule regardless of how fast the server answers, so rising
+// latency shows up as latency (and eventually Skipped ticks), not as a
+// silently reduced rate.
+func Run(ctx context.Context, o Options) (*Report, error) {
+	if o.Base == "" {
+		return nil, errors.New("loadgen: Base is required")
+	}
+	if o.Kind == "" {
+		return nil, errors.New("loadgen: Kind is required")
+	}
+	if o.RPS <= 0 {
+		o.RPS = 5
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
+	if o.Subscribers <= 0 {
+		o.Subscribers = 2
+	}
+	if o.Poll <= 0 {
+		o.Poll = 100 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	httpc := o.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	client := &serve.Client{Base: o.Base, APIKey: o.APIKey, HTTP: httpc}
+	if err := client.Health(ctx); err != nil {
+		return nil, fmt.Errorf("loadgen: target %s not healthy: %w", o.Base, err)
+	}
+
+	rep := &Report{
+		Schema:      SchemaVersion,
+		Timestamp:   time.Now().UTC(),
+		Target:      o.Base,
+		Kind:        o.Kind,
+		TargetRPS:   o.RPS,
+		Subscribers: o.Subscribers,
+		Rejected:    make(map[string]int),
+		Outcomes:    make(map[string]int),
+	}
+	runtime.GC()
+	rep.GoroutinesBefore = runtime.NumGoroutine()
+	rep.ServerGoroutinesBefore = serverGoroutines(ctx, httpc, o.Base)
+	rep.FDsBefore = countFDs()
+
+	var (
+		mu           sync.Mutex
+		submitMS     []float64
+		ttfbMS       []float64
+		streamEvents int64
+	)
+	// The rng runs only on the pacing goroutine, so a fixed seed yields the
+	// same cancel/stream decision sequence every run.
+	rng := rand.New(rand.NewSource(o.Seed))
+	sem := make(chan struct{}, o.MaxInFlight)
+	var wg sync.WaitGroup
+
+	interval := time.Duration(float64(time.Second) / o.RPS)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	timeUp := time.After(o.Duration)
+	start := time.Now()
+
+pace:
+	for {
+		select {
+		case <-ctx.Done():
+			break pace
+		case <-timeUp:
+			break pace
+		case <-ticker.C:
+		}
+		doCancel := rng.Float64() < o.CancelFraction
+		doStream := rng.Float64() < o.StreamFraction
+		select {
+		case sem <- struct{}{}:
+		default:
+			rep.Skipped++
+			continue
+		}
+		rep.Submitted++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			st, err := client.Submit(ctx, serve.SubmitSpec{
+				Kind: o.Kind, Spec: o.Spec, TimeoutSec: o.TimeoutSec,
+			})
+			lat := float64(time.Since(t0).Microseconds()) / 1000
+			mu.Lock()
+			submitMS = append(submitMS, lat)
+			mu.Unlock()
+			if err != nil {
+				reason := "transport"
+				var ae *serve.APIError
+				if errors.As(err, &ae) && ae.Reason != "" {
+					reason = ae.Reason
+				}
+				mu.Lock()
+				rep.Rejected[reason]++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			rep.Accepted++
+			if doStream {
+				rep.Streams++
+			}
+			mu.Unlock()
+			var subs sync.WaitGroup
+			if doStream {
+				for i := 0; i < o.Subscribers; i++ {
+					subs.Add(1)
+					go func() {
+						defer subs.Done()
+						ttfb, events := consumeStream(ctx, httpc, o.Base, o.APIKey, st.ID)
+						mu.Lock()
+						if ttfb >= 0 {
+							ttfbMS = append(ttfbMS, ttfb)
+						}
+						streamEvents += events
+						mu.Unlock()
+					}()
+				}
+			}
+			if doCancel {
+				client.Cancel(ctx, st.ID)
+			}
+			awaitCtx, cancel := context.WithTimeout(ctx, o.Duration+30*time.Second)
+			final, aerr := client.Await(awaitCtx, st.ID, o.Poll)
+			cancel()
+			outcome := string(final.State)
+			if aerr != nil {
+				outcome = "await-error"
+			}
+			mu.Lock()
+			rep.Outcomes[outcome]++
+			mu.Unlock()
+			subs.Wait()
+		}()
+	}
+	wg.Wait()
+	rep.DurationSec = time.Since(start).Seconds()
+	if rep.DurationSec > 0 {
+		rep.AchievedRPS = float64(rep.Submitted) / rep.DurationSec
+	}
+	rep.Submit = summarize(submitMS)
+	rep.TTFB = summarize(ttfbMS)
+	rep.StreamEvents = streamEvents
+
+	// Quiesce before the leak samples: drop idle keep-alive connections and
+	// give transport/poller goroutines a bounded window to exit.
+	httpc.CloseIdleConnections()
+	settle := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > rep.GoroutinesBefore && time.Now().Before(settle) {
+		time.Sleep(25 * time.Millisecond)
+	}
+	runtime.GC()
+	rep.GoroutinesAfter = runtime.NumGoroutine()
+	rep.ServerGoroutinesAfter = serverGoroutines(ctx, httpc, o.Base)
+	rep.FDsAfter = countFDs()
+	return rep, nil
+}
+
+// consumeStream subscribes to one run's SSE trace stream and reads it to
+// completion, returning the time-to-first-event in milliseconds (-1 when
+// no event arrived) and the number of events received.
+func consumeStream(ctx context.Context, httpc *http.Client, base, apiKey, id string) (ttfb float64, events int64) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(base, "/")+"/api/v1/runs/"+id+"/events", nil)
+	if err != nil {
+		return -1, 0
+	}
+	if apiKey != "" {
+		req.Header.Set("X-API-Key", apiKey)
+	}
+	t0 := time.Now()
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return -1, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		return -1, 0
+	}
+	ttfb = -1
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "data:") {
+			if ttfb < 0 {
+				ttfb = float64(time.Since(t0).Microseconds()) / 1000
+			}
+			events++
+		}
+	}
+	return ttfb, events
+}
+
+// serverGoroutines scrapes the target's goroutine count from
+// /debug/pprof/goroutine?debug=1 (-1 when the endpoint is unavailable).
+func serverGoroutines(ctx context.Context, httpc *http.Client, base string) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(base, "/")+"/debug/pprof/goroutine?debug=1", nil)
+	if err != nil {
+		return -1
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return -1
+	}
+	var n int
+	if _, err := fmt.Sscanf(string(data), "goroutine profile: total %d", &n); err != nil {
+		return -1
+	}
+	return n
+}
+
+// countFDs reports the process's open file descriptors via /proc (-1 on
+// platforms without it; the FD gate is skipped then).
+func countFDs() int {
+	entries, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(entries)
+}

@@ -1,0 +1,220 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"chop/internal/obs"
+	"chop/internal/serve"
+)
+
+// testServer starts an in-process serve instance with a fast synthetic job
+// that emits one trace span (so SSE streams carry events).
+func testServer(t *testing.T, tenants []serve.TenantConfig) *httptest.Server {
+	t.Helper()
+	s := serve.New(serve.Options{
+		MaxConcurrent: 4,
+		QueueDepth:    64,
+		Metrics:       obs.NewMetrics(),
+		Tenants:       tenants,
+		Jobs: map[string]serve.Job{
+			"quick": {Run: func(ctx context.Context, _ json.RawMessage, jc serve.JobContext) (any, error) {
+				jc.Tracer.Span("work").End()
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-time.After(2 * time.Millisecond):
+				}
+				return "ok", nil
+			}},
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Drain(context.Background())
+	})
+	return ts
+}
+
+func TestLoadgenRunReport(t *testing.T) {
+	ts := testServer(t, nil)
+	rep, err := Run(context.Background(), Options{
+		Base:           ts.URL,
+		Kind:           "quick",
+		RPS:            50,
+		Duration:       600 * time.Millisecond,
+		StreamFraction: 1,
+		Subscribers:    2,
+		CancelFraction: 0.2,
+		Poll:           10 * time.Millisecond,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SchemaVersion {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Submitted == 0 || rep.Accepted == 0 {
+		t.Fatalf("no traffic: submitted=%d accepted=%d", rep.Submitted, rep.Accepted)
+	}
+	if rep.Submit.Count != rep.Submitted {
+		t.Errorf("submit latency count %d != submitted %d", rep.Submit.Count, rep.Submitted)
+	}
+	if rep.Streams == 0 || rep.TTFB.Count == 0 || rep.StreamEvents == 0 {
+		t.Errorf("stream fan-out not measured: streams=%d ttfb=%d events=%d",
+			rep.Streams, rep.TTFB.Count, rep.StreamEvents)
+	}
+	// Every streamed run had 2 subscribers; each subscriber that saw an
+	// event contributes one TTFB sample.
+	if rep.TTFB.Count > rep.Streams*rep.Subscribers {
+		t.Errorf("ttfb count %d exceeds streams*subs %d", rep.TTFB.Count, rep.Streams*rep.Subscribers)
+	}
+	if rep.Outcomes["done"] == 0 {
+		t.Errorf("no runs completed: outcomes=%v", rep.Outcomes)
+	}
+	if rep.AchievedRPS <= 0 || rep.DurationSec <= 0 {
+		t.Errorf("rate not measured: achieved=%f duration=%f", rep.AchievedRPS, rep.DurationSec)
+	}
+	if rep.Submit.P50MS <= 0 || rep.Submit.P99MS < rep.Submit.P50MS {
+		t.Errorf("implausible submit latency: %+v", rep.Submit)
+	}
+
+	// Round-trip the report file.
+	path := filepath.Join(t.TempDir(), "loadgen.json")
+	if err := rep.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Submitted != rep.Submitted || back.Submit.P99MS != rep.Submit.P99MS {
+		t.Errorf("round trip mismatch: %+v vs %+v", back, rep)
+	}
+}
+
+func TestLoadgenRejectionBuckets(t *testing.T) {
+	// One tenant throttled to ~1 submit/sec: driving it at 100 rps must
+	// bucket the overflow under the server's "rate-limited" reason.
+	ts := testServer(t, []serve.TenantConfig{
+		{Name: "slow", Key: "slow-key", RatePerSec: 1, Burst: 1},
+	})
+	rep, err := Run(context.Background(), Options{
+		Base:     ts.URL,
+		APIKey:   "slow-key",
+		Kind:     "quick",
+		RPS:      100,
+		Duration: 300 * time.Millisecond,
+		Poll:     10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted == 0 {
+		t.Error("burst token not accepted")
+	}
+	if rep.Rejected["rate-limited"] == 0 {
+		t.Errorf("throttle not observed: rejected=%v", rep.Rejected)
+	}
+}
+
+func TestLoadgenRequiresHealthyTarget(t *testing.T) {
+	if _, err := Run(context.Background(), Options{
+		Base: "http://127.0.0.1:1", Kind: "quick", Duration: 10 * time.Millisecond,
+	}); err == nil {
+		t.Fatal("want health-probe error for dead target")
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i + 1) // 1..100ms
+	}
+	l := summarize(samples)
+	if l.Count != 100 || l.P50MS != 50 || l.P95MS != 95 || l.P99MS != 99 || l.MaxMS != 100 {
+		t.Errorf("percentiles off: %+v", l)
+	}
+	if z := summarize(nil); z.Count != 0 || z.P99MS != 0 {
+		t.Errorf("empty fold not zero: %+v", z)
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := &Report{
+		Schema: SchemaVersion,
+		Submit: Latency{Count: 100, P99MS: 2},
+		TTFB:   Latency{Count: 50, P99MS: 4},
+	}
+	tol := Tolerances{LatencyPct: 25, GoroutineGrowth: 10, FDGrowth: 40}
+
+	clean := &Report{
+		Schema:           SchemaVersion,
+		Submit:           Latency{Count: 100, P99MS: 2.1},
+		TTFB:             Latency{Count: 50, P99MS: 4.2},
+		GoroutinesBefore: 20, GoroutinesAfter: 22,
+		ServerGoroutinesBefore: 30, ServerGoroutinesAfter: 30,
+		FDsBefore: 10, FDsAfter: 12,
+	}
+	if findings, regressed := Compare(base, clean, tol); regressed {
+		t.Errorf("clean run flagged: %v", findings)
+	}
+
+	slow := *clean
+	slow.Submit.P99MS = 3 // +50% over baseline
+	if _, regressed := Compare(base, &slow, tol); !regressed {
+		t.Error("p99 submit regression not flagged")
+	}
+
+	leak := *clean
+	leak.ServerGoroutinesAfter = leak.ServerGoroutinesBefore + 50
+	if _, regressed := Compare(base, &leak, tol); !regressed {
+		t.Error("server goroutine leak not flagged")
+	}
+
+	fdLeak := *clean
+	fdLeak.FDsAfter = fdLeak.FDsBefore + 100
+	if _, regressed := Compare(base, &fdLeak, tol); !regressed {
+		t.Error("fd leak not flagged")
+	}
+
+	// Platforms without /proc report -1: the FD gate must be skipped, not
+	// misread as a huge delta.
+	noFDs := *clean
+	noFDs.FDsBefore, noFDs.FDsAfter = -1, -1
+	findings, regressed := Compare(base, &noFDs, tol)
+	if regressed {
+		t.Errorf("fd-less run flagged: %v", findings)
+	}
+	for _, f := range findings {
+		if f.Gate == "client-fds" {
+			t.Error("fd gate emitted without samples")
+		}
+	}
+
+	// Zero tolerances disable everything.
+	if findings, _ := Compare(base, &slow, Tolerances{}); len(findings) != 0 {
+		t.Errorf("disabled gates still fired: %v", findings)
+	}
+}
+
+func TestLoadSchemaCheck(t *testing.T) {
+	dir := t.TempDir()
+	bad := &Report{Schema: "chop-bench/1"}
+	path := filepath.Join(dir, "bad.json")
+	if err := bad.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

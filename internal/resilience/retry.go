@@ -62,6 +62,62 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// Backoff produces a capped exponential wait sequence with optional
+// deterministic jitter: base, 2*base, 4*base, ... clamped at max, each
+// scaled by a uniform factor in [1-jitter, 1+jitter]. It is the waiting
+// schedule behind Retry, exported so pollers (serve.Client.Await, loadgen)
+// share the same curve — a fleet of clients seeded differently spreads its
+// polls instead of self-synchronizing into thundering herds.
+//
+// Not safe for concurrent use; give each goroutine its own Backoff.
+type Backoff struct {
+	next   time.Duration
+	max    time.Duration
+	jitter float64
+	rng    *rand.Rand
+}
+
+// NewBackoff builds a Backoff starting at base and capping at max. A
+// positive jitter spreads each wait by ±jitter; seed 0 derives one from the
+// clock, any other value makes the jitter sequence deterministic (tests,
+// and per-client decorrelation from a stable identity like a run id).
+func NewBackoff(base, max time.Duration, jitter float64, seed int64) *Backoff {
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	if max < base {
+		max = base
+	}
+	b := &Backoff{next: base, max: max}
+	if jitter > 0 {
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		b.jitter = jitter
+		b.rng = rand.New(rand.NewSource(seed))
+	}
+	return b
+}
+
+// Next returns the next wait in the sequence and advances it.
+func (b *Backoff) Next() time.Duration {
+	wait := b.next
+	if b.rng != nil {
+		f := 1 + b.jitter*(2*b.rng.Float64()-1)
+		wait = time.Duration(float64(wait) * f)
+	}
+	if b.next < b.max {
+		b.next *= 2
+		if b.next > b.max {
+			b.next = b.max
+		}
+	}
+	return wait
+}
+
 // Permanent marks an error as non-retryable: Retry returns it immediately
 // without burning the remaining attempts.
 func Permanent(err error) error {
@@ -83,15 +139,7 @@ func (p permanentError) Unwrap() error { return p.err }
 // last attempt's, wrapped with the attempt count when every try failed.
 func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
 	p = p.withDefaults()
-	var rng *rand.Rand
-	if p.Jitter > 0 {
-		seed := p.Seed
-		if seed == 0 {
-			seed = time.Now().UnixNano()
-		}
-		rng = rand.New(rand.NewSource(seed))
-	}
-	delay := p.BaseDelay
+	backoff := NewBackoff(p.BaseDelay, p.MaxDelay, p.Jitter, p.Seed)
 	var err error
 	for attempt := 1; ; attempt++ {
 		if ctx != nil {
@@ -116,23 +164,12 @@ func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
 		if attempt >= p.Attempts {
 			return fmt.Errorf("retry exhausted after %d attempt(s): %w", attempt, err)
 		}
-		wait := delay
-		if rng != nil {
-			f := 1 + p.Jitter*(2*rng.Float64()-1)
-			wait = time.Duration(float64(wait) * f)
-		}
 		sctx := ctx
 		if sctx == nil {
 			sctx = context.Background()
 		}
-		if serr := p.Sleep(sctx, wait); serr != nil {
+		if serr := p.Sleep(sctx, backoff.Next()); serr != nil {
 			return fmt.Errorf("retry canceled after %d attempt(s): %w", attempt, err)
-		}
-		if delay < p.MaxDelay {
-			delay *= 2
-			if delay > p.MaxDelay {
-				delay = p.MaxDelay
-			}
 		}
 	}
 }

@@ -5,12 +5,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strings"
 	"time"
 
 	"chop/internal/obs"
+	"chop/internal/resilience"
 )
 
 // Client is a minimal API client for the serve plane that propagates W3C
@@ -21,8 +23,37 @@ import (
 type Client struct {
 	// Base is the server's base URL, e.g. "http://127.0.0.1:8080".
 	Base string
+	// APIKey authenticates the client against an admission-controlled
+	// server (sent as X-API-Key). Empty sends no credential — fine for
+	// servers running without -api-keys.
+	APIKey string
 	// HTTP is the transport (nil: http.DefaultClient).
 	HTTP *http.Client
+}
+
+// APIError is the typed form of a non-2xx response: the HTTP status, the
+// server's machine-readable rejection reason ("rate-limited", "over-quota",
+// "bad-key", "queue-full", ...), and the Retry-After hint when the server
+// sent one. Recover it from a Client error with errors.As.
+type APIError struct {
+	Status     int
+	Reason     string
+	Message    string
+	RequestID  string
+	RetryAfter time.Duration // 0: no Retry-After header
+	Method     string
+	Path       string
+}
+
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("serve: %s %s: HTTP %d", e.Method, e.Path, e.Status)
+	}
+	suffix := ""
+	if e.RequestID != "" {
+		suffix = ", request " + e.RequestID
+	}
+	return fmt.Sprintf("serve: %s %s: %s (%s%s)", e.Method, e.Path, e.Message, e.Reason, suffix)
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -33,8 +64,8 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // do issues one JSON request. A trace context on ctx is injected as
-// traceparent; non-2xx responses decode the apiError envelope into the
-// returned error.
+// traceparent; non-2xx responses decode the apiError envelope into a
+// returned *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
@@ -51,6 +82,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
 	if tc, ok := obs.TraceContextFrom(ctx); ok {
 		obs.InjectTraceparent(req.Header, tc)
 	}
@@ -64,15 +98,20 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return err
 	}
 	if resp.StatusCode >= 300 {
-		var ae apiError
-		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
-			suffix := ""
-			if ae.RequestID != "" {
-				suffix = ", request " + ae.RequestID
-			}
-			return fmt.Errorf("serve: %s %s: %s (%s%s)", method, path, ae.Error, ae.Reason, suffix)
+		ae := &APIError{Status: resp.StatusCode, Method: method, Path: path}
+		var envelope apiError
+		if json.Unmarshal(data, &envelope) == nil {
+			ae.Message = envelope.Error
+			ae.Reason = envelope.Reason
+			ae.RequestID = envelope.RequestID
 		}
-		return fmt.Errorf("serve: %s %s: HTTP %d", method, path, resp.StatusCode)
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			var sec float64
+			if _, err := fmt.Sscanf(ra, "%f", &sec); err == nil && sec > 0 {
+				ae.RetryAfter = time.Duration(sec * float64(time.Second))
+			}
+		}
+		return ae
 	}
 	if out == nil {
 		return nil
@@ -109,11 +148,26 @@ func (c *Client) Get(ctx context.Context, id string) (RunStatus, error) {
 	return st, err
 }
 
-// Await polls a run until it reaches a terminal state (or ctx ends).
+// Cancel requests cancellation of a run; cancelled is false when the run
+// had already finished.
+func (c *Client) Cancel(ctx context.Context, id string) (cancelled bool, err error) {
+	var out struct {
+		Cancelled bool `json:"cancelled"`
+	}
+	err = c.do(ctx, http.MethodDelete, "/api/v1/runs/"+id, nil, &out)
+	return out.Cancelled, err
+}
+
+// Await polls a run until it reaches a terminal state (or ctx ends). poll
+// is the initial polling delay (default 200ms); each subsequent wait backs
+// off exponentially, capped at 8x, with deterministic ±20% jitter seeded
+// from the run id — so a fleet of high-RPS clients (loadgen) decorrelates
+// its polls instead of hammering the server in lockstep.
 func (c *Client) Await(ctx context.Context, id string, poll time.Duration) (RunStatus, error) {
 	if poll <= 0 {
 		poll = 200 * time.Millisecond
 	}
+	backoff := resilience.NewBackoff(poll, 8*poll, 0.2, pollSeed(id))
 	for {
 		st, err := c.Get(ctx, id)
 		if err != nil {
@@ -125,9 +179,22 @@ func (c *Client) Await(ctx context.Context, id string, poll time.Duration) (RunS
 		select {
 		case <-ctx.Done():
 			return st, ctx.Err()
-		case <-time.After(poll):
+		case <-time.After(backoff.Next()):
 		}
 	}
+}
+
+// pollSeed derives a stable non-zero jitter seed from a run id, so two
+// clients awaiting different runs spread apart while a given client's
+// schedule stays reproducible.
+func pollSeed(id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	seed := int64(h.Sum64())
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
 }
 
 // Health reports whether the server answers its liveness probe.

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# loadgen-smoke: SLO load-test smoke against a real admission-controlled
+# chop serve process.
+#
+# Starts `chop serve -api-keys tenants.json`, drives it with `chop loadgen`
+# at low RPS for LOADGEN_SECS seconds (submit/stream/cancel mix with SSE
+# fan-out), writes loadgen.json, runs the SLO gate offline against the
+# report itself (the latency and leak gates must parse and pass on an
+# unregressed run), and checks that a wrong API key is rejected with
+# bad-key. CI uploads loadgen.json as an artifact; gate future changes
+# with `chop loadgen -compare loadgen.json`.
+set -euo pipefail
+
+DIR="${LOADGEN_DIR:-loadgen-smoke}"
+ADDR="${LOADGEN_ADDR:-127.0.0.1:18090}"
+SECS="${LOADGEN_SECS:-10}"
+GO="${GO:-go}"
+
+mkdir -p "$DIR"
+rm -f "$DIR"/loadgen.json "$DIR"/badkey.json "$DIR"/tenants.json
+
+echo "== building chop"
+"$GO" build -o "$DIR/chop" ./cmd/chop
+
+cat > "$DIR/tenants.json" <<'EOF'
+{"tenants": [
+  {"name": "ci", "key": "ci-loadgen-key", "maxRunning": 4, "maxQueued": 64,
+   "ratePerSec": 50, "priority": 1},
+  {"name": "batch", "key": "ci-batch-key", "maxRunning": 1, "maxQueued": 8,
+   "ratePerSec": 5, "priority": 0}
+]}
+EOF
+
+echo "== starting chop serve on $ADDR (admission control active)"
+"$DIR/chop" serve -addr "$ADDR" -api-keys "$DIR/tenants.json" \
+	-checkpoint-dir "$DIR/ckpt" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+echo "== waiting for the listener"
+HOST="${ADDR%:*}" PORT="${ADDR##*:}"
+for _ in $(seq 1 50); do
+	if (exec 3<>"/dev/tcp/$HOST/$PORT") 2>/dev/null; then
+		exec 3>&- || true
+		break
+	fi
+	sleep 0.2
+done
+
+echo "== driving ${SECS}s of load at 10 rps"
+"$DIR/chop" loadgen -addr "http://$ADDR" -api-key ci-loadgen-key \
+	-rps 10 -duration "$SECS" -stream 0.5 -cancel 0.1 -subs 2 \
+	-json "$DIR/loadgen.json"
+
+echo "== gating the report (self-compare: latency + leak gates must pass)"
+"$DIR/chop" loadgen -compare "$DIR/loadgen.json" "$DIR/loadgen.json"
+
+echo "== unauthenticated submits must be rejected with bad-key"
+"$DIR/chop" loadgen -addr "http://$ADDR" -api-key wrong-key \
+	-rps 5 -duration 1 -json "$DIR/badkey.json"
+if ! grep -q '"bad-key"' "$DIR/badkey.json"; then
+	echo "FAIL: wrong API key was not rejected with bad-key" >&2
+	exit 1
+fi
+
+echo "== stopping the server"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || true
+trap - EXIT
+
+echo "== loadgen smoke OK: report at $DIR/loadgen.json"
