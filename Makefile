@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-stats-gate profile-smoke gobench fuzz chaos trace-smoke loadgen-smoke cover serve ci
+.PHONY: all build vet lint test race bench bench-stats-gate profile-smoke gobench fuzz chaos trace-smoke loadgen-smoke dist-smoke cover serve ci
 
 all: build
 
@@ -86,6 +86,17 @@ LOADGEN_SECS ?= 10
 LOADGEN_DIR ?= loadgen-smoke
 loadgen-smoke:
 	LOADGEN_DIR=$(LOADGEN_DIR) LOADGEN_SECS=$(LOADGEN_SECS) ./scripts/loadgen-smoke.sh
+
+# dist-smoke runs the fault-tolerant distributed search across real
+# processes: a coordinator and two chop serve workers, one stalled by
+# fault injection and SIGKILLed mid-search. Gates on lease recovery
+# (shards reassigned to the survivor) and on the merged result staying
+# byte-identical to a serial run, for both heuristics; then stitches a
+# clean traced run with chop trace -fail-on-orphans and exports
+# DIST_SMOKE_DIR/perfetto.json.
+DIST_SMOKE_DIR ?= dist-smoke
+dist-smoke:
+	DIST_SMOKE_DIR=$(DIST_SMOKE_DIR) ./scripts/dist-smoke.sh
 
 # cover writes coverage.out plus a browsable HTML report.
 cover:

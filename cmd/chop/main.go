@@ -9,6 +9,7 @@
 //	chop graph [-g name]   print a benchmark data-flow graph (Fig. 6 class)
 //	chop spec              print an example partitioning spec (JSON)
 //	chop eval -f spec.json evaluate a partitioning spec
+//	chop search -f spec.json  run the search; -distributed farms shards to a serve fleet
 //	chop advise -f spec.json  interactive advisor session (commands on stdin)
 //	chop explain -f trace.jsonl  replay a -trace file into a readable report
 //	chop trace a.jsonl b.jsonl   stitch multi-process traces into one tree (-o perfetto exports for ui.perfetto.dev)
@@ -79,6 +80,8 @@ func main() {
 		err = printSpec()
 	case "eval":
 		err = eval(os.Args[2:])
+	case "search":
+		err = searchCmd(os.Args[2:])
 	case "advise":
 		err = advise(os.Args[2:])
 	case "explain":
@@ -123,6 +126,12 @@ func usage() {
   graph [-g name]      print a benchmark graph (ar, ewf, fir, diffeq)
   spec                 print an example partitioning spec (JSON)
   eval -f spec.json    evaluate a partitioning spec
+  search -f spec.json  run the design-space search and print/emit the merged
+                       result (-json); -distributed -workers-url a,b farms
+                       shards out to a chop serve fleet with lease-based
+                       fault tolerance (-lease, -max-lease, -steal-after,
+                       -shards, -max-lease-shards, -drain-grace, -poll,
+                       -api-key) — byte-identical to the local run
   advise -f spec.json  interactive advisor session (commands on stdin)
   explain -f trace.jsonl  replay a trace into a per-stage time and rejection report
                        (-stats prints the search-statistics report instead)

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// planAndRunAll plans the shard decomposition and executes every shard in
+// one SearchShards call, returning the plan, the done-set and the merged
+// result.
+func planAndRunAll(t *testing.T, p *Partitioning, cfg Config, h Heuristic, shards int) (ShardPlan, map[int]*SearchResult, SearchResult) {
+	t.Helper()
+	preds, err := PredictPartitions(p, cfg)
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	plan, err := PlanShards(p, cfg, preds, h, shards)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	indices := make([]int, plan.Shards)
+	for i := range indices {
+		indices[i] = i
+	}
+	done, err := SearchShards(p, cfg, preds, h, plan.Shards, indices)
+	if err != nil {
+		t.Fatalf("SearchShards: %v", err)
+	}
+	merged, err := MergeShardResults(h, plan.Shards, done)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	return plan, done, merged
+}
+
+// TestSearchShardsMergeMatchesSerial is the distributed substrate's core
+// promise: executing the planned shards (in any split) and merging the
+// done-set is byte-identical to a Workers=1 serial search, for both
+// heuristics and several shard counts.
+func TestSearchShardsMergeMatchesSerial(t *testing.T) {
+	p := arPartitioning(t, 2, 1)
+	for _, h := range []Heuristic{Enumeration, Iterative} {
+		cfg := exp1Config()
+		cfg.KeepAll = true
+		preds, err := PredictPartitions(p, cfg)
+		if err != nil {
+			t.Fatalf("predict: %v", err)
+		}
+		scfg := cfg
+		scfg.Workers = 1
+		serial, err := Search(p, scfg, preds, h)
+		if err != nil {
+			t.Fatalf("serial: %v", err)
+		}
+		want, err := json.Marshal(serial)
+		if err != nil {
+			t.Fatalf("marshal serial: %v", err)
+		}
+		for _, shards := range []int{1, 3, 8} {
+			_, _, merged := planAndRunAll(t, p, cfg, h, shards)
+			got, err := json.Marshal(merged)
+			if err != nil {
+				t.Fatalf("marshal merged: %v", err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("h=%v shards=%d: merged result not byte-identical to serial\nserial: %s\nmerged: %s",
+					h, shards, want, got)
+			}
+		}
+	}
+}
+
+// TestSearchShardsSubsetsCompose: running disjoint index subsets in
+// separate SearchShards calls (as different workers would) yields the same
+// done-set as one call over all indices.
+func TestSearchShardsSubsetsCompose(t *testing.T) {
+	p := arPartitioning(t, 2, 1)
+	cfg := exp1Config()
+	preds, err := PredictPartitions(p, cfg)
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	plan, err := PlanShards(p, cfg, preds, Enumeration, 6)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if plan.Shards < 2 {
+		t.Fatalf("want >= 2 shards, got %d", plan.Shards)
+	}
+	var a, b []int
+	for si := 0; si < plan.Shards; si++ {
+		if si%2 == 0 {
+			a = append(a, si)
+		} else {
+			b = append(b, si)
+		}
+	}
+	done := make(map[int]*SearchResult)
+	for _, part := range [][]int{a, b} {
+		d, err := SearchShards(p, cfg, preds, Enumeration, plan.Shards, part)
+		if err != nil {
+			t.Fatalf("SearchShards(%v): %v", part, err)
+		}
+		for si, r := range d {
+			done[si] = r
+		}
+	}
+	merged, err := MergeShardResults(Enumeration, plan.Shards, done)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	scfg := cfg
+	scfg.Workers = 1
+	serial, err := Search(p, scfg, preds, Enumeration)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	want, _ := json.Marshal(serial)
+	got, _ := json.Marshal(merged)
+	if string(got) != string(want) {
+		t.Fatalf("split execution diverged from serial")
+	}
+}
+
+// TestPlanShardsSignatureInvariance: the signature pins the search — same
+// inputs agree, different knobs or geometry differ.
+func TestPlanShardsSignatureInvariance(t *testing.T) {
+	p := arPartitioning(t, 2, 1)
+	cfg := exp1Config()
+	preds, err := PredictPartitions(p, cfg)
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	p1, err := PlanShards(p, cfg, preds, Enumeration, 4)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	p2, err := PlanShards(p, cfg, preds, Enumeration, 4)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if p1.Signature == "" || p1.Signature != p2.Signature {
+		t.Fatalf("same plan, different signatures: %q vs %q", p1.Signature, p2.Signature)
+	}
+	p3, err := PlanShards(p, cfg, preds, Enumeration, 2)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if p3.Signature == p1.Signature {
+		t.Fatalf("different shard geometry, same signature")
+	}
+	cfg2 := cfg
+	cfg2.KeepAll = !cfg.KeepAll
+	p4, err := PlanShards(p, cfg2, preds, Enumeration, 4)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if p4.Signature == p1.Signature {
+		t.Fatalf("different knobs, same signature")
+	}
+	// Iterative plans ignore the requested shard count.
+	i1, err := PlanShards(p, cfg, preds, Iterative, 1)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	i2, err := PlanShards(p, cfg, preds, Iterative, 99)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if i1.Shards != i2.Shards || i1.Signature != i2.Signature {
+		t.Fatalf("iterative plan depends on requested count: %+v vs %+v", i1, i2)
+	}
+}
+
+// TestSearchShardsRejectsBadInputs: geometry mismatches and bad indices
+// fail fast instead of silently producing a divergent merge.
+func TestSearchShardsRejectsBadInputs(t *testing.T) {
+	p := arPartitioning(t, 2, 1)
+	cfg := exp1Config()
+	preds, err := PredictPartitions(p, cfg)
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	plan, err := PlanShards(p, cfg, preds, Enumeration, 4)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if _, err := SearchShards(p, cfg, preds, Enumeration, plan.Total+1, []int{0}); err == nil {
+		t.Fatalf("enumeration shard count beyond the combination count accepted")
+	}
+	iplan, err := PlanShards(p, cfg, preds, Iterative, 0)
+	if err != nil {
+		t.Fatalf("iterative plan: %v", err)
+	}
+	if _, err := SearchShards(p, cfg, preds, Iterative, iplan.Shards+1, []int{0}); err == nil {
+		t.Fatalf("iterative shard-count mismatch accepted")
+	}
+	if _, err := SearchShards(p, cfg, preds, Enumeration, plan.Shards, []int{plan.Shards}); err == nil {
+		t.Fatalf("out-of-range index accepted")
+	}
+	if _, err := SearchShards(p, cfg, preds, Enumeration, plan.Shards, []int{0, 0}); err == nil {
+		t.Fatalf("duplicate index accepted")
+	}
+	if _, err := MergeShardResults(Enumeration, plan.Shards, map[int]*SearchResult{}); err == nil {
+		t.Fatalf("merge with missing shards accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"os"
+	"time"
+
+	"chop/internal/core"
+	"chop/internal/obs"
+	"chop/internal/resilience"
+)
+
+// The coordinator's checkpoint mirrors the in-process engine's: the unit
+// of durability is the shard, the envelope is the versioned chop-ckpt/1
+// format (resilience.SaveCheckpoint: atomic temp+rename), and the payload
+// is signed with the plan signature so a restarted coordinator refuses to
+// resume a snapshot from a different search.
+
+// checkpointKind tags the coordinator snapshot inside the envelope.
+const checkpointKind = "chop/dist-shards"
+
+// distCheckpoint is the persisted payload.
+type distCheckpoint struct {
+	Signature string                     `json:"signature"`
+	Shards    int                        `json:"shards"`
+	Done      map[int]*core.SearchResult `json:"done"`
+}
+
+// restoreCheckpoint loads a matching snapshot into the done-set when
+// Resume is set. Load problems are not errors — the search starts fresh
+// and the stale file is overwritten by the first save.
+func (c *Coordinator) restoreCheckpoint() {
+	if c.o.CheckpointPath == "" || !c.o.Resume {
+		return
+	}
+	var snap distCheckpoint
+	if err := resilience.LoadCheckpoint(c.o.CheckpointPath, checkpointKind, &snap); err != nil {
+		c.o.Metrics.Inc("dist.checkpoint.load_skipped")
+		return
+	}
+	if snap.Signature != c.plan.Signature || snap.Shards != c.plan.Shards {
+		c.o.Metrics.Inc("dist.checkpoint.mismatch")
+		c.root.Point("checkpoint", obs.F("resumed", false), obs.F("reason", "signature-mismatch"))
+		return
+	}
+	restored := 0
+	for si, res := range snap.Done {
+		if si < 0 || si >= c.plan.Shards || res == nil {
+			continue
+		}
+		c.done[si] = res
+		restored++
+	}
+	c.o.Metrics.Add("dist.shards.resumed", int64(restored))
+	c.o.Log.Info("resumed from coordinator checkpoint",
+		"path", c.o.CheckpointPath, "shards", restored)
+}
+
+// maybeCheckpoint saves when the accepted-shard cadence is due.
+func (c *Coordinator) maybeCheckpoint() {
+	if c.o.CheckpointPath == "" || c.ckptDue == 0 {
+		return
+	}
+	every := c.o.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	if c.ckptDue < every {
+		return
+	}
+	c.saveCheckpoint()
+}
+
+// flushCheckpoint persists whatever has completed on the way out of an
+// interrupted search, leaving the maximal resumable state behind.
+func (c *Coordinator) flushCheckpoint() {
+	if c.o.CheckpointPath == "" || len(c.done) == 0 || c.plan.Shards == 0 {
+		return
+	}
+	c.saveCheckpoint()
+}
+
+// saveCheckpoint writes one snapshot with a short retry, absorbing
+// transient I/O failures and injected "checkpoint.save" faults. A save
+// that still fails is recorded but does not kill the search — durability
+// is best-effort, exactly like the in-process checkpointer.
+func (c *Coordinator) saveCheckpoint() {
+	c.ckptDue = 0
+	snap := distCheckpoint{
+		Signature: c.plan.Signature,
+		Shards:    c.plan.Shards,
+		Done:      c.done,
+	}
+	err := resilience.Retry(nil, resilience.RetryPolicy{
+		Attempts: 3, BaseDelay: 5 * time.Millisecond, Seed: 1,
+	}, func() error {
+		if err := c.o.Inject.Fire("checkpoint.save"); err != nil {
+			return err
+		}
+		return resilience.SaveCheckpoint(c.o.CheckpointPath, checkpointKind, snap)
+	})
+	if err != nil {
+		c.o.Metrics.Inc("dist.checkpoint.save_failed")
+		c.o.Log.Warn("coordinator checkpoint save failed", "error", err)
+		return
+	}
+	c.o.Metrics.Inc("dist.checkpoint.saves")
+}
+
+// consumeCheckpoint removes the snapshot after a successful search, so a
+// later unrelated run cannot resume from it.
+func (c *Coordinator) consumeCheckpoint() {
+	if c.o.CheckpointPath == "" {
+		return
+	}
+	if err := os.Remove(c.o.CheckpointPath); err != nil && !os.IsNotExist(err) {
+		c.o.Metrics.Inc("dist.checkpoint.remove_failed")
+	}
+}

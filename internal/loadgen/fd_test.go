@@ -1,0 +1,46 @@
+package loadgen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCountFDsGracefulDegradation: a platform without /proc/self/fd (or a
+// container that hides it) yields the unknown sentinel, a readable listing
+// yields the entry count, and the report renders the unknown case as
+// "unknown" instead of a bogus delta.
+func TestCountFDsGracefulDegradation(t *testing.T) {
+	orig := procFDDir
+	t.Cleanup(func() { procFDDir = orig })
+
+	procFDDir = filepath.Join(t.TempDir(), "no-such-proc")
+	if got := countFDs(); got != fdCountUnknown {
+		t.Fatalf("missing fd dir: got %d, want %d", got, fdCountUnknown)
+	}
+
+	dir := t.TempDir()
+	for _, name := range []string{"0", "1", "2", "7"} {
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	procFDDir = dir
+	if got := countFDs(); got != 4 {
+		t.Fatalf("synthetic fd dir: got %d, want 4", got)
+	}
+}
+
+// TestFormatReportUnknownFDs: the human report says the counts are
+// unknown rather than omitting them or printing the sentinel.
+func TestFormatReportUnknownFDs(t *testing.T) {
+	r := &Report{FDsBefore: fdCountUnknown, FDsAfter: fdCountUnknown}
+	if out := FormatReport(r); !strings.Contains(out, "fds unknown") {
+		t.Fatalf("report without fd samples misses the unknown marker:\n%s", out)
+	}
+	known := &Report{FDsBefore: 10, FDsAfter: 12}
+	if out := FormatReport(known); !strings.Contains(out, "fds 10->12") {
+		t.Fatalf("report with fd samples misses the counts:\n%s", out)
+	}
+}

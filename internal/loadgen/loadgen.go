@@ -290,12 +290,22 @@ func serverGoroutines(ctx context.Context, httpc *http.Client, base string) int 
 	return n
 }
 
-// countFDs reports the process's open file descriptors via /proc (-1 on
-// platforms without it; the FD gate is skipped then).
+// procFDDir is the kernel's per-process descriptor listing. A variable so
+// tests can point it at a missing or synthetic directory; on platforms
+// (or hardened containers) where it is unreadable, FD counts degrade to
+// the unknown sentinel instead of failing the load run.
+var procFDDir = "/proc/self/fd"
+
+// fdCountUnknown marks an FD sample the platform could not provide. The
+// report prints it as unknown and the FD leak gate skips it.
+const fdCountUnknown = -1
+
+// countFDs reports the process's open file descriptors via /proc
+// (fdCountUnknown on platforms without it; the FD gate is skipped then).
 func countFDs() int {
-	entries, err := os.ReadDir("/proc/self/fd")
+	entries, err := os.ReadDir(procFDDir)
 	if err != nil {
-		return -1
+		return fdCountUnknown
 	}
 	return len(entries)
 }

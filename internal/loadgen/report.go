@@ -248,8 +248,10 @@ func FormatReport(r *Report) string {
 	fmt.Fprintf(&b, "  goroutines client %d->%d server %d->%d",
 		r.GoroutinesBefore, r.GoroutinesAfter,
 		r.ServerGoroutinesBefore, r.ServerGoroutinesAfter)
-	if r.FDsBefore >= 0 {
+	if r.FDsBefore >= 0 && r.FDsAfter >= 0 {
 		fmt.Fprintf(&b, " fds %d->%d", r.FDsBefore, r.FDsAfter)
+	} else {
+		b.WriteString(" fds unknown (no /proc)")
 	}
 	b.WriteString("\n")
 	return b.String()

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -139,6 +140,56 @@ func (c *Client) Submit(ctx context.Context, req SubmitSpec) (RunStatus, error) 
 		Checkpoint: req.Checkpoint,
 	}, &st)
 	return st, err
+}
+
+// SubmitRetry submits like Submit but rides out admission backpressure:
+// 429 (rate-limited, over-quota) and 503 (queue-full, draining) rejections
+// are retried until the submission is accepted, a non-retryable error
+// occurs, ctx ends, or the budget elapses. The wait before each retry is
+// the server's Retry-After hint when it sent one — the server knows when
+// its token bucket refills or its queue drains — falling back to
+// exponential backoff with deterministic jitter (seeded from the run kind,
+// so concurrent submitters decorrelate). budget <= 0 means a single
+// attempt, i.e. plain Submit.
+func (c *Client) SubmitRetry(ctx context.Context, req SubmitSpec, budget time.Duration) (RunStatus, error) {
+	st, err := c.Submit(ctx, req)
+	if budget <= 0 {
+		return st, err
+	}
+	deadline := time.Now().Add(budget)
+	backoff := resilience.NewBackoff(200*time.Millisecond, 5*time.Second, 0.2,
+		pollSeed(c.Base+"/"+req.Kind))
+	for {
+		if !retryableSubmit(err) {
+			return st, err
+		}
+		wait := backoff.Next()
+		var ae *APIError
+		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			wait = ae.RetryAfter
+		}
+		if time.Now().Add(wait).After(deadline) {
+			return st, fmt.Errorf("serve: submit retry budget exhausted: %w", err)
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(wait):
+		}
+		st, err = c.Submit(ctx, req)
+	}
+}
+
+// retryableSubmit reports whether a submit rejection is backpressure worth
+// waiting out: only typed 429/503 responses qualify. Transport errors and
+// everything else (400 bad spec, 401 bad key, ...) fail fast — retrying
+// them would just repeat the same answer.
+func retryableSubmit(err error) bool {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		return false
+	}
+	return ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable
 }
 
 // Get fetches one run's status, including its result when terminal.

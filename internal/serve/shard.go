@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"chop/internal/core"
+	"chop/internal/spec"
+)
+
+// This file implements the "shard" run kind: the worker half of
+// distributed search (internal/dist). A coordinator plans the shard
+// decomposition of a spec locally, then submits shard-execution requests
+// naming the shard indices one lease covers. The worker re-derives the
+// plan from the same spec and refuses to execute when the signatures
+// disagree — a worker on a stale binary or a mutated spec must fail loudly
+// rather than contribute shards from a different search to the merge.
+
+// ShardRequest is the submission body of a "shard" run.
+type ShardRequest struct {
+	// Spec is the same partitioning-spec JSON an eval run takes; the
+	// worker derives problem, knobs and predictions from it.
+	Spec json.RawMessage `json:"spec"`
+	// Shards is the plan's shard count (geometry, not parallelism).
+	Shards int `json:"shards"`
+	// Indices are the shard indices of [0, Shards) this lease executes.
+	Indices []int `json:"indices"`
+	// Epochs are the coordinator's fencing epochs for Indices (parallel
+	// slice), echoed back verbatim so a response can be matched to the
+	// lease that requested it.
+	Epochs []int64 `json:"epochs,omitempty"`
+	// Signature is the coordinator's plan signature; execution is refused
+	// when the worker's locally recomputed signature differs.
+	Signature string `json:"signature"`
+}
+
+// ShardResponse is the result JSON of a "shard" run.
+type ShardResponse struct {
+	Signature string                     `json:"signature"`
+	Shards    int                        `json:"shards"`
+	Results   map[int]*core.SearchResult `json:"results"`
+	Epochs    map[int]int64              `json:"epochs,omitempty"`
+	Trials    int                        `json:"trials"`
+}
+
+// validateShard rejects malformed shard submissions with 400 at the door.
+func validateShard(raw json.RawMessage) error {
+	var req ShardRequest
+	if len(raw) == 0 {
+		return fmt.Errorf("spec required for this run kind")
+	}
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return fmt.Errorf("shard request: %w", err)
+	}
+	if len(req.Spec) == 0 {
+		return fmt.Errorf("shard request: spec required")
+	}
+	if _, err := spec.Parse(req.Spec); err != nil {
+		return err
+	}
+	if req.Shards <= 0 {
+		return fmt.Errorf("shard request: shards must be positive")
+	}
+	if len(req.Indices) == 0 {
+		return fmt.Errorf("shard request: at least one shard index required")
+	}
+	if len(req.Epochs) != 0 && len(req.Epochs) != len(req.Indices) {
+		return fmt.Errorf("shard request: epochs must parallel indices (%d vs %d)",
+			len(req.Epochs), len(req.Indices))
+	}
+	for _, si := range req.Indices {
+		if si < 0 || si >= req.Shards {
+			return fmt.Errorf("shard request: index %d out of range [0,%d)", si, req.Shards)
+		}
+	}
+	return nil
+}
+
+func shardJob(ctx context.Context, raw json.RawMessage, jc JobContext) (any, error) {
+	var req ShardRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return nil, fmt.Errorf("shard request: %w", err)
+	}
+	prob, err := spec.Parse(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	prob.Config.Ctx = ctx
+	prob.Config.Trace = jc.Tracer
+	prob.Config.Metrics = jc.Metrics
+	prob.Config.Stats = jc.Stats
+	prob.Config.Phases = jc.Phases
+	prob.Config.Inject = jc.Inject
+	if prob.Config.PredictCache == nil {
+		prob.Config.PredictCache = jc.Cache
+	}
+	preds, err := core.PredictPartitions(prob.Partitioning, prob.Config)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := core.PlanShards(prob.Partitioning, prob.Config, preds, prob.Heuristic, req.Shards)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Shards != req.Shards {
+		return nil, fmt.Errorf("shard: plan geometry mismatch: request says %d shards, local plan has %d",
+			req.Shards, plan.Shards)
+	}
+	if req.Signature != "" && plan.Signature != req.Signature {
+		jc.Metrics.Inc("serve.shard.signature_mismatch")
+		return nil, fmt.Errorf("shard: plan signature mismatch: request %.12s.., local %.12s..",
+			req.Signature, plan.Signature)
+	}
+	done, err := core.SearchShards(prob.Partitioning, prob.Config, preds, prob.Heuristic,
+		req.Shards, req.Indices)
+	if err != nil {
+		return nil, err
+	}
+	resp := &ShardResponse{
+		Signature: plan.Signature,
+		Shards:    plan.Shards,
+		Results:   done,
+	}
+	if len(req.Epochs) == len(req.Indices) {
+		resp.Epochs = make(map[int]int64, len(req.Indices))
+		for i, si := range req.Indices {
+			resp.Epochs[si] = req.Epochs[i]
+		}
+	}
+	for _, r := range done {
+		resp.Trials += r.Trials
+	}
+	jc.Log.Info("shard lease executed", "shards", len(req.Indices),
+		"of", plan.Shards, "trials", resp.Trials)
+	return resp, nil
+}
